@@ -1,0 +1,305 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 7), plus micro-benchmarks and the Section 6.2
+// ablations. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure-level benchmarks execute the same sweeps as cmd/dsvbench at a
+// reduced scale (DESIGN.md §4.3 explains the scaling substitution); the
+// reported metric is the wall time to regenerate the whole panel set.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/diff"
+	"repro/internal/dptree"
+	"repro/internal/experiments"
+	"repro/internal/gitpack"
+	"repro/internal/graph"
+	"repro/internal/graphalg"
+	"repro/internal/ilp"
+	"repro/internal/lmg"
+	"repro/internal/mp"
+	"repro/internal/repogen"
+	"repro/internal/treewidth"
+)
+
+func benchConfig() experiments.Config {
+	// ILP is benchmarked separately (BenchmarkILP_Datasharing): a
+	// branch-and-bound point inside a sweep would dominate every other
+	// number in the figure benchmarks.
+	return experiments.Config{Scale: 0.05, SweepPoints: 5, Epsilon: 0.1, MaxStates: 128, ILP: false}
+}
+
+// BenchmarkTable4_Datasets regenerates the Table 4 dataset overview.
+func BenchmarkTable4_Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats := experiments.Table4(benchConfig())
+		if len(stats) != 8 {
+			b.Fatal("wrong dataset count")
+		}
+	}
+}
+
+// BenchmarkFigure10_MSRNatural regenerates Figure 10 (LMG vs LMG-All vs
+// DP-MSR vs ILP-OPT on natural graphs).
+func BenchmarkFigure10_MSRNatural(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Figure10(benchConfig())) == 0 {
+			b.Fatal("no panels")
+		}
+	}
+}
+
+// BenchmarkFigure11_MSRCompressed regenerates Figure 11 (MSR on
+// randomly-compressed graphs).
+func BenchmarkFigure11_MSRCompressed(b *testing.B) {
+	cfg := benchConfig()
+	cfg.ILP = false
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Figure11(cfg)) == 0 {
+			b.Fatal("no panels")
+		}
+	}
+}
+
+// BenchmarkFigure12_MSRER regenerates Figure 12 (MSR on compressed
+// Erdős–Rényi graphs).
+func BenchmarkFigure12_MSRER(b *testing.B) {
+	cfg := benchConfig()
+	cfg.ILP = false
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Figure12(cfg)) == 0 {
+			b.Fatal("no panels")
+		}
+	}
+}
+
+// BenchmarkFigure13_BMRNatural regenerates Figure 13 (MP vs DP-BMR).
+func BenchmarkFigure13_BMRNatural(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Figure13(benchConfig())) == 0 {
+			b.Fatal("no panels")
+		}
+	}
+}
+
+// BenchmarkTheorem1_LMGAdversarial regenerates the Theorem 1 table.
+func BenchmarkTheorem1_LMGAdversarial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Theorem1([]graph.Cost{10, 30, 100})
+		for _, r := range rows {
+			if r.LMGOverOPT != r.Ratio {
+				b.Fatal("theorem 1 violated")
+			}
+		}
+	}
+}
+
+// BenchmarkTreewidth_Datasets regenerates the footnote-7 treewidth
+// measurements.
+func BenchmarkTreewidth_Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Treewidths(benchConfig())) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// --- micro-benchmarks over the styleguide-scale dataset ---
+
+func styleguideScaled() *graph.Graph {
+	return repogen.Generate(repogen.Spec{
+		Name: "styleguide-250", Commits: 250, ExtraBiEdges: 66,
+		AvgNodeCost: 1_400_000, AvgDeltaCost: 8659, BranchProb: 0.2, Seed: 1002,
+	})
+}
+
+// BenchmarkEdmonds measures the minimum-arborescence substrate every
+// heuristic initializes from.
+func BenchmarkEdmonds(b *testing.B) {
+	x := graph.Extend(styleguideScaled())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := graphalg.MinArborescence(x.Graph, x.Aux, graphalg.StorageWeight); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLMG measures Algorithm 1 at a mid-range budget.
+func BenchmarkLMG(b *testing.B) {
+	g := styleguideScaled()
+	s := g.TotalNodeStorage() / 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lmg.LMG(g, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLMGAll_Workers1 and _Workers4 are the parallel-scan ablation
+// (the candidate scan is embarrassingly parallel; on a single-core host
+// the variants coincide, on multicore the scan scales).
+func BenchmarkLMGAll_Workers1(b *testing.B) { benchLMGAll(b, 1) }
+
+// BenchmarkLMGAll_Workers4 — see BenchmarkLMGAll_Workers1.
+func BenchmarkLMGAll_Workers4(b *testing.B) { benchLMGAll(b, 4) }
+
+func benchLMGAll(b *testing.B, workers int) {
+	g := styleguideScaled()
+	s := g.TotalNodeStorage() / 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lmg.LMGAll(g, s, lmg.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMP measures the BMR baseline.
+func BenchmarkMP(b *testing.B) {
+	g := styleguideScaled()
+	r := g.MaxEdgeRetrieval() * 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mp.Solve(g, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPBMR measures the exact O(n²) tree DP.
+func BenchmarkDPBMR(b *testing.B) {
+	g := styleguideScaled()
+	r := g.MaxEdgeRetrieval() * 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dptree.BMROnGraph(g, r, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section 6.2 ablations for DP-MSR ---
+
+func benchDPMSR(b *testing.B, opt dptree.MSROptions) {
+	g := styleguideScaled()
+	opt.PruneStorage = -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp, err := dptree.MSRFrontierOnGraph(g, 0, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dp.Best(g.TotalNodeStorage()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDPMSR_LinearTicks is the paper's FPTAS discretization.
+func BenchmarkDPMSR_LinearTicks(b *testing.B) {
+	benchDPMSR(b, dptree.MSROptions{Epsilon: 0.1, MaxStates: 128})
+}
+
+// BenchmarkDPMSR_GeometricTicks is speedup 2 of Section 6.2.
+func BenchmarkDPMSR_GeometricTicks(b *testing.B) {
+	benchDPMSR(b, dptree.MSROptions{Epsilon: 0.1, Geometric: true, MaxStates: 128})
+}
+
+// BenchmarkDPMSR_WithStoragePruning is speedup 3 of Section 6.2 (prune
+// at twice the minimum storage, the paper's uncompressed-graph setting).
+func BenchmarkDPMSR_WithStoragePruning(b *testing.B) {
+	g := styleguideScaled()
+	_, minStorage, err := planMinStorage(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := dptree.MSROptions{Epsilon: 0.1, Geometric: true, MaxStates: 128, PruneStorage: 2 * minStorage}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp, err := dptree.MSRFrontierOnGraph(g, 0, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dp.Best(2 * minStorage); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func planMinStorage(g *graph.Graph) (*graph.Graph, graph.Cost, error) {
+	x := graph.Extend(g)
+	_, total, err := graphalg.MinArborescence(x.Graph, x.Aux, graphalg.StorageWeight)
+	return g, total, err
+}
+
+// BenchmarkILP_Datasharing measures the exact solver on the only dataset
+// the paper could solve to optimality.
+func BenchmarkILP_Datasharing(b *testing.B) {
+	g, err := repogen.Dataset("datasharing")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := g.TotalNodeStorage() / 3
+	seed, err := lmg.LMGAll(g, s, lmg.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ilp.SolveMSR(g, s, ilp.Options{MaxNodes: 150, Incumbent: seed.Plan}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMyersDiff measures the delta substrate on 1000-line files
+// with scattered edits.
+func BenchmarkMyersDiff(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := make([]string, 1000)
+	for i := range a {
+		a[i] = string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26)))
+	}
+	c := append([]string(nil), a...)
+	for i := 0; i < 50; i++ {
+		c[rng.Intn(len(c))] = "changed"
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := diff.Compute(a, c)
+		if _, err := d.Apply(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeDecomposition measures the min-degree heuristic on the
+// styleguide-scale graph.
+func BenchmarkTreeDecomposition(b *testing.B) {
+	g := styleguideScaled()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := treewidth.Decompose(g, treewidth.MinDegree)
+		if d.Width() < 1 {
+			b.Fatal("degenerate width")
+		}
+	}
+}
+
+// BenchmarkGitPackWindow measures the git pack-objects window baseline
+// (Section 1.2.3) on the styleguide-scale graph.
+func BenchmarkGitPackWindow(b *testing.B) {
+	g := styleguideScaled()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := gitpack.Solve(g, gitpack.Options{Window: 10}); !res.Cost.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// gitrepo builds a synthetic repository with real file contents, weighs
+// every delta by an actual Myers diff (the paper's natural-graph
+// construction, Section 7.1), optimizes the storage plan, and then
+// proves the plan works end to end by checking out every version through
+// the stored deltas and comparing the bytes. It also compares against an
+// SVN-style baseline (materialize the head, reach everything else by
+// deltas), the strategy the paper's related work discusses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+
+	"repro/versioning"
+)
+
+func main() {
+	repo := versioning.GenerateRepo("demo-repo", 120, 42)
+	g := repo.Graph
+	head := versioning.NodeID(g.N() - 1)
+	fmt.Printf("repository: %d commits, %d deltas, full materialization %d bytes\n",
+		g.N(), g.M(), g.TotalNodeStorage())
+
+	// SVN-style: store only the newest version, everything else via
+	// deltas (shortest retrieval paths from head).
+	svn, err := versioning.ShortestPathPlan(g, head)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSVN-style (materialize head only):\n")
+	fmt.Printf("  storage %8d  ΣR %8d  maxR %6d\n", svn.Cost.Storage, svn.Cost.SumRetrieval, svn.Cost.MaxRetrieval)
+
+	// Give LMG-All the same storage budget: it may rebalance which
+	// versions are materialized to cut retrieval massively.
+	budget := svn.Cost.Storage * 3 / 2
+	opt, err := versioning.SolveMSR(g, budget, versioning.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLMG-All under budget %d (1.5× SVN storage):\n", budget)
+	fmt.Printf("  storage %8d  ΣR %8d  maxR %6d  materialized %v\n",
+		opt.Cost.Storage, opt.Cost.SumRetrieval, opt.Cost.MaxRetrieval, opt.Plan.MaterializedNodes())
+
+	// End-to-end validation: reconstruct every version through the plan
+	// and compare contents byte for byte.
+	for v := versioning.NodeID(0); int(v) < g.N(); v++ {
+		got, err := repo.Checkout(opt.Plan, v)
+		if err != nil {
+			log.Fatalf("checkout %d: %v", v, err)
+		}
+		if !reflect.DeepEqual(got, repo.Contents[v]) {
+			log.Fatalf("checkout %d produced wrong content", v)
+		}
+	}
+	fmt.Printf("\nverified: all %d versions reconstruct exactly under the optimized plan\n", g.N())
+}

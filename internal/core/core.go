@@ -1,0 +1,182 @@
+// Package core ties the solvers together: it names the paper's six
+// optimization problems (Table 1), provides the easy baselines (minimum
+// spanning tree / shortest path tree), and implements the Lemma 7
+// binary-search reductions that turn any BMR solver into an MMR solver
+// and any MSR solver into a BSR solver (and vice versa).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/graphalg"
+	"repro/internal/plan"
+)
+
+// Problem identifies one of the paper's optimization problems.
+type Problem int
+
+// The six problems of Table 1.
+const (
+	ProblemMST Problem = iota // minimize storage, any finite retrieval
+	ProblemSPT                // minimize max retrieval, any finite storage
+	ProblemMSR                // min Σ R(v) s.t. storage ≤ S
+	ProblemMMR                // min max R(v) s.t. storage ≤ S
+	ProblemBSR                // min storage s.t. Σ R(v) ≤ R
+	ProblemBMR                // min storage s.t. max R(v) ≤ R
+)
+
+// String implements fmt.Stringer.
+func (p Problem) String() string {
+	switch p {
+	case ProblemMST:
+		return "MST"
+	case ProblemSPT:
+		return "SPT"
+	case ProblemMSR:
+		return "MSR"
+	case ProblemMMR:
+		return "MMR"
+	case ProblemBSR:
+		return "BSR"
+	case ProblemBMR:
+		return "BMR"
+	default:
+		return fmt.Sprintf("Problem(%d)", int(p))
+	}
+}
+
+// ParseProblem parses a problem name as printed by String.
+func ParseProblem(s string) (Problem, error) {
+	for p := ProblemMST; p <= ProblemBMR; p++ {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown problem %q", s)
+}
+
+// Solution is a solver outcome.
+type Solution struct {
+	Plan *plan.Plan
+	Cost plan.Cost
+}
+
+// ErrInfeasible reports an unsatisfiable constraint.
+var ErrInfeasible = errors.New("core: constraint infeasible")
+
+// MST solves Problem 1: the minimum-storage plan keeping every version
+// retrievable.
+func MST(g *graph.Graph) (Solution, error) {
+	p, _, err := plan.MinStorage(g)
+	if err != nil {
+		return Solution{}, err
+	}
+	return Solution{Plan: p, Cost: plan.Evaluate(g, p)}, nil
+}
+
+// SPT solves Problem 2 in its classical form: materialize root and store
+// the shortest-retrieval-path tree from it, minimizing every R(v)
+// simultaneously among plans with a single materialized version.
+func SPT(g *graph.Graph, root graph.NodeID) (Solution, error) {
+	dist, parents := graphalg.ShortestPathTree(g, root, graphalg.RetrievalWeight)
+	p := plan.New(g)
+	p.Materialized[root] = true
+	for v := 0; v < g.N(); v++ {
+		if graph.NodeID(v) == root {
+			continue
+		}
+		if dist[v] >= graph.Infinite {
+			return Solution{}, fmt.Errorf("core: version %d unreachable from root %d", v, root)
+		}
+		p.Stored[parents[v]] = true
+	}
+	return Solution{Plan: p, Cost: plan.Evaluate(g, p)}, nil
+}
+
+// BMRFunc solves BoundedMax Retrieval for a retrieval bound.
+type BMRFunc func(r graph.Cost) (Solution, error)
+
+// MSRFunc solves MinSum Retrieval for a storage bound.
+type MSRFunc func(s graph.Cost) (Solution, error)
+
+// MMRViaBMR implements Lemma 7: binary-search the smallest max-retrieval
+// bound R* whose BMR optimum fits in storage s. With an exact BMR solver
+// (whose storage is monotone non-increasing in r) the result is the exact
+// MMR optimum; with a heuristic it is a heuristic.
+//
+// The search space is [0, n·r_max] (any retrieval bound beyond the
+// longest possible path is slack).
+func MMRViaBMR(g *graph.Graph, s graph.Cost, bmr BMRFunc) (Solution, error) {
+	lo, hi := graph.Cost(0), graph.Cost(g.N())*g.MaxEdgeRetrieval()
+	fits := func(r graph.Cost) (Solution, bool, error) {
+		sol, err := bmr(r)
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				return Solution{}, false, nil
+			}
+			return Solution{}, false, err
+		}
+		return sol, sol.Cost.Storage <= s, nil
+	}
+	best, ok, err := fits(hi)
+	if err != nil {
+		return Solution{}, err
+	}
+	if !ok {
+		return Solution{}, ErrInfeasible
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		sol, ok, err := fits(mid)
+		if err != nil {
+			return Solution{}, err
+		}
+		if ok {
+			best = sol
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, nil
+}
+
+// BSRViaMSR implements the reverse Lemma 7 direction: binary-search the
+// smallest storage budget whose MSR optimum meets the total-retrieval
+// bound r. With an exact MSR solver the result is the exact BSR optimum.
+func BSRViaMSR(g *graph.Graph, r graph.Cost, msr MSRFunc) (Solution, error) {
+	lo, hi := graph.Cost(0), g.TotalNodeStorage()
+	fits := func(s graph.Cost) (Solution, bool, error) {
+		sol, err := msr(s)
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				return Solution{}, false, nil
+			}
+			return Solution{}, false, err
+		}
+		return sol, sol.Cost.SumRetrieval <= r, nil
+	}
+	best, ok, err := fits(hi)
+	if err != nil {
+		return Solution{}, err
+	}
+	if !ok {
+		return Solution{}, ErrInfeasible
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		sol, ok, err := fits(mid)
+		if err != nil {
+			return Solution{}, err
+		}
+		if ok {
+			best = sol
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/dptree"
+	"repro/internal/graph"
+)
+
+func TestProblemStringRoundTrip(t *testing.T) {
+	for p := ProblemMST; p <= ProblemBMR; p++ {
+		got, err := ParseProblem(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip of %v failed: %v %v", p, got, err)
+		}
+	}
+	if _, err := ParseProblem("nope"); err == nil {
+		t.Fatal("bogus problem accepted")
+	}
+	if Problem(99).String() == "" {
+		t.Fatal("unknown problem should still print")
+	}
+}
+
+func TestMSTAndSPTOnFigure1(t *testing.T) {
+	g := graph.Figure1()
+	mst, err := MST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mst.Cost.Storage != 11450 {
+		t.Fatalf("MST storage %d", mst.Cost.Storage)
+	}
+	spt, err := SPT(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spt.Cost.Feasible {
+		t.Fatal("SPT infeasible")
+	}
+	// SPT minimizes R(v) from v1 for every v: R(v5) = min(200+2500,
+	// 3000+550) = 2700.
+	r := spt.Plan.Retrievals(g)
+	if r[4] != 2700 {
+		t.Fatalf("SPT R(v5) = %d, want 2700", r[4])
+	}
+	// Unreachable root errors.
+	h := graph.NewWithNodes("u", 2, 5)
+	if _, err := SPT(h, 0); err == nil {
+		t.Fatal("SPT on disconnected graph should fail")
+	}
+}
+
+// bruteBMRFunc adapts the brute-force BMR solver to a BMRFunc.
+func bruteBMRFunc(g *graph.Graph) BMRFunc {
+	return func(r graph.Cost) (Solution, error) {
+		res, err := bruteforce.SolveBMR(g, r, 0)
+		if err != nil {
+			if errors.Is(err, bruteforce.ErrInfeasible) {
+				return Solution{}, ErrInfeasible
+			}
+			return Solution{}, err
+		}
+		return Solution{Plan: res.Plan, Cost: res.Cost}, nil
+	}
+}
+
+func TestMMRViaBMRMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for it := 0; it < 25; it++ {
+		g := graph.Random(graph.RandomOptions{Nodes: 2 + rng.Intn(5), ExtraEdges: rng.Intn(5), Bidirected: true}, rng)
+		s := g.TotalNodeStorage() * 2 / 3
+		want, err := bruteforce.SolveMMR(g, s, 0)
+		if err != nil {
+			if errors.Is(err, bruteforce.ErrInfeasible) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		got, err := MMRViaBMR(g, s, bruteBMRFunc(g))
+		if err != nil {
+			t.Fatalf("it %d: %v", it, err)
+		}
+		if got.Cost.MaxRetrieval != want.Cost.MaxRetrieval {
+			t.Fatalf("it %d: MMR via BMR %d, brute force %d", it, got.Cost.MaxRetrieval, want.Cost.MaxRetrieval)
+		}
+		if got.Cost.Storage > s {
+			t.Fatalf("it %d: storage %d over budget %d", it, got.Cost.Storage, s)
+		}
+	}
+}
+
+func TestBSRViaMSRMatchesBruteForceOnTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for it := 0; it < 20; it++ {
+		g := graph.RandomBiTree(2+rng.Intn(5), 50, 10, rng)
+		bt, err := dptree.FromBiTreeGraph(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msr := func(s graph.Cost) (Solution, error) {
+			res, err := dptree.MSR(bt, s, dptree.MSROptions{})
+			if err != nil {
+				if errors.Is(err, dptree.ErrInfeasible) {
+					return Solution{}, ErrInfeasible
+				}
+				return Solution{}, err
+			}
+			return Solution{Plan: res.Plan, Cost: res.Cost}, nil
+		}
+		maxSum := g.MaxEdgeRetrieval() * graph.Cost(g.N()*g.N())
+		for _, r := range []graph.Cost{0, maxSum / 4, maxSum} {
+			want, err := bruteforce.SolveBSR(g, r, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := BSRViaMSR(g, r, msr)
+			if err != nil {
+				t.Fatalf("it %d r=%d: %v", it, r, err)
+			}
+			if got.Cost.Storage != want.Cost.Storage {
+				t.Fatalf("it %d r=%d: BSR via MSR %d, brute force %d", it, r, got.Cost.Storage, want.Cost.Storage)
+			}
+			if got.Cost.SumRetrieval > r {
+				t.Fatalf("it %d: retrieval bound violated", it)
+			}
+		}
+	}
+}
+
+func TestMMRInfeasible(t *testing.T) {
+	g := graph.Figure1()
+	if _, err := MMRViaBMR(g, 1, bruteBMRFunc(g)); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestMMRPipelineOnTrees validates the Table 3 "MMR via DP" pipeline end
+// to end: binary-searching the exact tree DP-BMR yields the brute-force
+// MMR optimum on bidirectional trees.
+func TestMMRPipelineOnTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for it := 0; it < 20; it++ {
+		g := graph.RandomBiTree(2+rng.Intn(5), 50, 10, rng)
+		bt, err := dptree.FromBiTreeGraph(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bmr := func(r graph.Cost) (Solution, error) {
+			res, err := dptree.BMR(bt, r)
+			if err != nil {
+				if errors.Is(err, dptree.ErrInfeasible) {
+					return Solution{}, ErrInfeasible
+				}
+				return Solution{}, err
+			}
+			return Solution{Plan: res.Plan, Cost: res.Cost}, nil
+		}
+		s := g.TotalNodeStorage() * 2 / 3
+		want, err := bruteforce.SolveMMR(g, s, 0)
+		if err != nil {
+			if errors.Is(err, bruteforce.ErrInfeasible) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		got, err := MMRViaBMR(g, s, bmr)
+		if err != nil {
+			t.Fatalf("it %d: %v", it, err)
+		}
+		if got.Cost.MaxRetrieval != want.Cost.MaxRetrieval {
+			t.Fatalf("it %d: MMR via tree DP %d, brute force %d", it, got.Cost.MaxRetrieval, want.Cost.MaxRetrieval)
+		}
+	}
+}

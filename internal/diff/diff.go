@@ -1,0 +1,199 @@
+// Package diff implements a Myers O(ND) line diff and a compact delta
+// representation with apply support. It is the "simple diff" substrate of
+// Section 7.1: natural version graphs weight their deltas by the size of
+// the edit script between parent and child commits, which makes the
+// storage and retrieval costs of an edge proportional — the single-weight
+// setting of Section 2.2.
+package diff
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Op is a delta command kind.
+type Op uint8
+
+// Delta command kinds.
+const (
+	OpKeep   Op = iota // copy N lines from the source
+	OpDelete           // skip N source lines
+	OpInsert           // emit Lines
+)
+
+// Cmd is one delta command.
+type Cmd struct {
+	Op    Op
+	N     int      // for OpKeep / OpDelete
+	Lines []string // for OpInsert
+}
+
+// Delta is an edit script transforming one line slice into another.
+type Delta struct {
+	Cmds []Cmd
+}
+
+// cmdOverhead approximates the bytes a command header occupies in a
+// serialized delta.
+const cmdOverhead = 8
+
+// StorageCost is the approximate serialized size of the delta in bytes:
+// inserted payload plus a fixed per-command header.
+func (d Delta) StorageCost() graph.Cost {
+	var c graph.Cost
+	for _, cmd := range d.Cmds {
+		c += cmdOverhead
+		for _, l := range cmd.Lines {
+			c += graph.Cost(len(l)) + 1
+		}
+	}
+	return c
+}
+
+// Compute produces the minimal edit script from a to b using Myers'
+// greedy O((N+M)·D) algorithm.
+func Compute(a, b []string) Delta {
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return Delta{}
+	}
+	max := n + m
+	offset := max
+	v := make([]int, 2*max+1)
+	var trace [][]int
+	var dFinal int
+search:
+	for d := 0; d <= max; d++ {
+		trace = append(trace, append([]int(nil), v...))
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[offset+k-1] < v[offset+k+1]) {
+				x = v[offset+k+1]
+			} else {
+				x = v[offset+k-1] + 1
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[offset+k] = x
+			if x >= n && y >= m {
+				dFinal = d
+				break search
+			}
+		}
+	}
+	// Backtrack from (n, m) through the trace, collecting raw edits.
+	type edit struct {
+		del bool
+		ai  int // index into a (delete) or b (insert)
+	}
+	var edits []edit
+	x, y := n, m
+	for d := dFinal; d > 0; d-- {
+		vd := trace[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vd[offset+k-1] < vd[offset+k+1]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vd[offset+prevK]
+		prevY := prevX - prevK
+		// Walk back the snake.
+		for x > prevX && y > prevY {
+			x--
+			y--
+		}
+		if prevK == k+1 {
+			// Came from above: insertion of b[prevY].
+			y--
+			edits = append(edits, edit{del: false, ai: y})
+		} else {
+			// Came from the left: deletion of a[prevX].
+			x--
+			edits = append(edits, edit{del: true, ai: x})
+		}
+	}
+	// edits are in reverse order; build commands forward.
+	var cmds []Cmd
+	ai, bi := 0, 0
+	emitKeep := func(upTo int) {
+		if upTo > ai {
+			cmds = append(cmds, Cmd{Op: OpKeep, N: upTo - ai})
+			bi += upTo - ai
+			ai = upTo
+		}
+	}
+	for i := len(edits) - 1; i >= 0; i-- {
+		e := edits[i]
+		if e.del {
+			emitKeep(e.ai)
+			if len(cmds) > 0 && cmds[len(cmds)-1].Op == OpDelete {
+				cmds[len(cmds)-1].N++
+			} else {
+				cmds = append(cmds, Cmd{Op: OpDelete, N: 1})
+			}
+			ai++
+		} else {
+			// e.ai indexes b; the keeps before it bring bi up to e.ai.
+			emitKeep(ai + (e.ai - bi))
+			if len(cmds) > 0 && cmds[len(cmds)-1].Op == OpInsert {
+				last := &cmds[len(cmds)-1]
+				last.Lines = append(last.Lines, b[e.ai])
+			} else {
+				cmds = append(cmds, Cmd{Op: OpInsert, Lines: []string{b[e.ai]}})
+			}
+			bi++
+		}
+	}
+	emitKeep(n)
+	return Delta{Cmds: cmds}
+}
+
+// ErrBadDelta reports a delta that does not fit the source it is applied
+// to.
+var ErrBadDelta = errors.New("diff: delta does not match source")
+
+// Apply transforms a by the delta, returning the target lines.
+func (d Delta) Apply(a []string) ([]string, error) {
+	var out []string
+	ai := 0
+	for i, cmd := range d.Cmds {
+		switch cmd.Op {
+		case OpKeep:
+			if ai+cmd.N > len(a) {
+				return nil, fmt.Errorf("%w: keep %d at %d beyond %d lines (cmd %d)", ErrBadDelta, cmd.N, ai, len(a), i)
+			}
+			out = append(out, a[ai:ai+cmd.N]...)
+			ai += cmd.N
+		case OpDelete:
+			if ai+cmd.N > len(a) {
+				return nil, fmt.Errorf("%w: delete %d at %d beyond %d lines (cmd %d)", ErrBadDelta, cmd.N, ai, len(a), i)
+			}
+			ai += cmd.N
+		case OpInsert:
+			out = append(out, cmd.Lines...)
+		default:
+			return nil, fmt.Errorf("%w: unknown op %d", ErrBadDelta, cmd.Op)
+		}
+	}
+	if ai != len(a) {
+		return nil, fmt.Errorf("%w: consumed %d of %d source lines", ErrBadDelta, ai, len(a))
+	}
+	return out, nil
+}
+
+// ByteSize is the total byte size of a version's content (its
+// materialization cost under the Section 7.1 cost model).
+func ByteSize(lines []string) graph.Cost {
+	var c graph.Cost
+	for _, l := range lines {
+		c += graph.Cost(len(l)) + 1
+	}
+	return c
+}

@@ -1,0 +1,158 @@
+package diff
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func apply(t *testing.T, a, b []string) Delta {
+	t.Helper()
+	d := Compute(a, b)
+	got, err := d.Apply(a)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !reflect.DeepEqual(got, b) && !(len(got) == 0 && len(b) == 0) {
+		t.Fatalf("apply(compute(a,b), a) = %q, want %q", got, b)
+	}
+	return d
+}
+
+func TestComputeApplyBasics(t *testing.T) {
+	cases := [][2][]string{
+		{{}, {}},
+		{{"a"}, {}},
+		{{}, {"a"}},
+		{{"a", "b", "c"}, {"a", "b", "c"}},
+		{{"a", "b", "c"}, {"a", "x", "c"}},
+		{{"a", "b", "c"}, {"c", "b", "a"}},
+		{{"x", "y"}, {"p", "q", "r", "s"}},
+		{{"same"}, {"same", "more"}},
+		{{"1", "2", "3", "4", "5"}, {"2", "4", "6"}},
+	}
+	for i, c := range cases {
+		d := apply(t, c[0], c[1])
+		if i == 3 && len(d.Cmds) != 1 {
+			t.Fatalf("identical slices should be a single keep, got %+v", d.Cmds)
+		}
+	}
+}
+
+func TestIdenticalContentIsCheap(t *testing.T) {
+	lines := make([]string, 1000)
+	for i := range lines {
+		lines[i] = strings.Repeat("x", 50)
+	}
+	d := Compute(lines, lines)
+	if d.StorageCost() > 2*cmdOverhead {
+		t.Fatalf("identity delta costs %d", d.StorageCost())
+	}
+	full := Compute(nil, lines)
+	if full.StorageCost() < ByteSize(lines) {
+		t.Fatalf("from-scratch delta %d cheaper than content %d", full.StorageCost(), ByteSize(lines))
+	}
+}
+
+func TestQuickApplyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	gen := func() []string {
+		n := rng.Intn(30)
+		out := make([]string, n)
+		for i := range out {
+			out[i] = string(rune('a' + rng.Intn(5)))
+		}
+		return out
+	}
+	f := func() bool {
+		a, b := gen(), gen()
+		d := Compute(a, b)
+		got, err := d.Apply(a)
+		if err != nil {
+			return false
+		}
+		if len(got) == 0 && len(b) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaIsMinimalOnSmallInputs(t *testing.T) {
+	// The number of delete+insert lines must equal the Myers distance;
+	// verify against an O(n·m) LCS oracle.
+	rng := rand.New(rand.NewSource(73))
+	lcs := func(a, b []string) int {
+		dp := make([][]int, len(a)+1)
+		for i := range dp {
+			dp[i] = make([]int, len(b)+1)
+		}
+		for i := 1; i <= len(a); i++ {
+			for j := 1; j <= len(b); j++ {
+				if a[i-1] == b[j-1] {
+					dp[i][j] = dp[i-1][j-1] + 1
+				} else if dp[i-1][j] > dp[i][j-1] {
+					dp[i][j] = dp[i-1][j]
+				} else {
+					dp[i][j] = dp[i][j-1]
+				}
+			}
+		}
+		return dp[len(a)][len(b)]
+	}
+	for it := 0; it < 100; it++ {
+		gen := func() []string {
+			n := rng.Intn(12)
+			out := make([]string, n)
+			for i := range out {
+				out[i] = string(rune('a' + rng.Intn(3)))
+			}
+			return out
+		}
+		a, b := gen(), gen()
+		d := Compute(a, b)
+		edits := 0
+		for _, c := range d.Cmds {
+			switch c.Op {
+			case OpDelete:
+				edits += c.N
+			case OpInsert:
+				edits += len(c.Lines)
+			}
+		}
+		want := len(a) + len(b) - 2*lcs(a, b)
+		if edits != want {
+			t.Fatalf("it %d: %d edits, minimal is %d (a=%q b=%q)", it, edits, want, a, b)
+		}
+	}
+}
+
+func TestApplyRejectsMismatchedSource(t *testing.T) {
+	a := []string{"a", "b", "c"}
+	b := []string{"a", "x"}
+	d := Compute(a, b)
+	if _, err := d.Apply([]string{"a"}); err == nil {
+		t.Fatal("short source accepted")
+	}
+	if _, err := d.Apply(append(a, "extra")); err == nil {
+		t.Fatal("long source accepted")
+	}
+	bad := Delta{Cmds: []Cmd{{Op: Op(9)}}}
+	if _, err := bad.Apply(a); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	if ByteSize(nil) != 0 {
+		t.Fatal("empty content has size")
+	}
+	if ByteSize([]string{"ab", "c"}) != 5 {
+		t.Fatalf("ByteSize = %d, want 5", ByteSize([]string{"ab", "c"}))
+	}
+}

@@ -1,0 +1,121 @@
+package dptree
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// BMRParallel is the parallel variant of BMR the paper anticipates in its
+// conclusion ("there are known procedures for parallelizing general DP
+// algorithms, so our new heuristics are potentially more practical than
+// previous ones, which are all sequential"). The cells DP[v][·] of a node
+// are mutually independent once its children are solved, so each node's
+// u-loop is sharded over a worker pool. The result is bit-for-bit
+// identical to the sequential DP for any worker count.
+func BMRParallel(t *BiTree, r graph.Cost, workers int) (BMRResult, error) {
+	if r < 0 {
+		return BMRResult{}, ErrInfeasible
+	}
+	n := t.N()
+	if n == 0 {
+		return BMRResult{Plan: plan.New(t.G), Cost: plan.Cost{Feasible: true}}, nil
+	}
+	if n > MaxDenseNodes {
+		return BMRResult{}, fmt.Errorf("dptree: %d nodes exceeds the dense DP cap %d", n, MaxDenseNodes)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	const inf = graph.Infinite
+	dp := make([][]graph.Cost, n)
+	cells := make([]graph.Cost, n*n)
+	for i := range cells {
+		cells[i] = inf
+	}
+	for v := 0; v < n; v++ {
+		dp[v] = cells[v*n : (v+1)*n]
+	}
+	optVal := make([]graph.Cost, n)
+	optArg := make([]graph.NodeID, n)
+
+	fillCell := func(v, u graph.NodeID) {
+		if t.PathRetrieval(u, v) > r {
+			return
+		}
+		var base graph.Cost
+		var sourceChild graph.NodeID = graph.None
+		switch {
+		case u == v:
+			base = t.G.NodeStorage(v)
+		case t.InSubtree(v, u):
+			sourceChild = t.ChildTowards(v, u)
+			id, s, _ := t.UpEdge(sourceChild)
+			if id == graph.None {
+				return
+			}
+			base = s
+		default:
+			id, s, _ := t.DownEdge(v)
+			if id == graph.None {
+				return
+			}
+			base = s
+		}
+		total := base
+		for _, w := range t.Children[v] {
+			term := optVal[w]
+			if w == sourceChild {
+				term = dp[w][u]
+			} else if dp[w][u] < term {
+				term = dp[w][u]
+			}
+			if term >= inf {
+				return
+			}
+			total += term
+		}
+		dp[v][u] = total
+	}
+
+	var wg sync.WaitGroup
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for u := lo; u < hi; u++ {
+					fillCell(v, graph.NodeID(u))
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		optVal[v] = inf
+		optArg[v] = v
+		for u := graph.NodeID(0); int(u) < n; u++ {
+			if t.InSubtree(v, u) && dp[v][u] < optVal[v] {
+				optVal[v] = dp[v][u]
+				optArg[v] = u
+			}
+		}
+	}
+	if optVal[t.Root] >= inf {
+		return BMRResult{}, ErrInfeasible
+	}
+	return reconstructBMR(t, r, dp, optVal, optArg)
+}

@@ -1,0 +1,500 @@
+package dptree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/graph"
+)
+
+// naivePathRetrieval walks the unique undirected tree path from u to v,
+// summing directed retrieval costs, as an oracle for PathRetrieval.
+func naivePathRetrieval(t *BiTree, u, v graph.NodeID) graph.Cost {
+	// Climb both to the root recording paths.
+	pathUp := func(x graph.NodeID) []graph.NodeID {
+		var p []graph.NodeID
+		for x != graph.None {
+			p = append(p, x)
+			x = t.Parent[x]
+		}
+		return p
+	}
+	pu, pv := pathUp(u), pathUp(v)
+	onPV := map[graph.NodeID]bool{}
+	for _, x := range pv {
+		onPV[x] = true
+	}
+	var lca graph.NodeID
+	for _, x := range pu {
+		if onPV[x] {
+			lca = x
+			break
+		}
+	}
+	var cost graph.Cost
+	for x := u; x != lca; x = t.Parent[x] {
+		_, _, r := t.UpEdge(x)
+		cost += r
+	}
+	// Down from lca to v: collect the path then descend.
+	var down []graph.NodeID
+	for x := v; x != lca; x = t.Parent[x] {
+		down = append(down, x)
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		_, _, r := t.DownEdge(down[i])
+		cost += r
+	}
+	return cost
+}
+
+func TestBiTreePathRetrieval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for it := 0; it < 15; it++ {
+		g := graph.RandomBiTree(2+rng.Intn(14), 100, 20, rng)
+		bt, err := FromBiTreeGraph(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := graph.NodeID(0); int(u) < g.N(); u++ {
+			for v := graph.NodeID(0); int(v) < g.N(); v++ {
+				want := naivePathRetrieval(bt, u, v)
+				if got := bt.PathRetrieval(u, v); got != want {
+					t.Fatalf("it %d: R(%d,%d) = %d, want %d", it, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBiTreeStructureQueries(t *testing.T) {
+	// Path 0-1-2-3 rooted at 0.
+	g := graph.RandomBiTree(1, 10, 5, rand.New(rand.NewSource(1)))
+	_ = g
+	chain := graph.New("chain")
+	for i := 0; i < 4; i++ {
+		chain.AddNode(10)
+	}
+	for i := 0; i < 3; i++ {
+		chain.AddBiEdge(graph.NodeID(i), graph.NodeID(i+1), 1, 2)
+	}
+	bt, err := FromBiTreeGraph(chain, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bt.InSubtree(1, 3) || bt.InSubtree(3, 1) || !bt.InSubtree(0, 0) {
+		t.Fatal("InSubtree wrong")
+	}
+	if bt.ChildTowards(0, 3) != 1 || bt.ChildTowards(1, 2) != 2 {
+		t.Fatal("ChildTowards wrong")
+	}
+	if bt.LCA(3, 3) != 3 || bt.LCA(0, 3) != 0 {
+		t.Fatal("LCA wrong")
+	}
+	if bt.PathRetrieval(3, 0) != 6 || bt.PathRetrieval(0, 3) != 6 {
+		t.Fatalf("chain path costs %d %d", bt.PathRetrieval(3, 0), bt.PathRetrieval(0, 3))
+	}
+}
+
+func TestFromBiTreeGraphRejectsNonTrees(t *testing.T) {
+	g := graph.NewWithNodes("cyc", 3, 5)
+	g.AddBiEdge(0, 1, 1, 1)
+	g.AddBiEdge(1, 2, 1, 1)
+	g.AddBiEdge(2, 0, 1, 1)
+	if _, err := FromBiTreeGraph(g, 0); !errors.Is(err, ErrNotBiTree) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBMRExactOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for it := 0; it < 40; it++ {
+		g := graph.RandomBiTree(2+rng.Intn(6), 60, 12, rng)
+		bt, err := FromBiTreeGraph(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxR := g.MaxEdgeRetrieval() * graph.Cost(g.N())
+		for _, r := range []graph.Cost{0, maxR / 3, maxR / 2, maxR} {
+			got, err := BMR(bt, r)
+			if err != nil {
+				t.Fatalf("it %d r=%d: %v", it, r, err)
+			}
+			want, err := bruteforce.SolveBMR(g, r, 0)
+			if err != nil {
+				t.Fatalf("it %d r=%d: %v", it, r, err)
+			}
+			if got.Cost.Storage != want.Cost.Storage {
+				t.Fatalf("it %d r=%d: DP-BMR %d, brute force %d", it, r, got.Cost.Storage, want.Cost.Storage)
+			}
+			if got.Cost.MaxRetrieval > r {
+				t.Fatalf("it %d r=%d: constraint violated (%d)", it, r, got.Cost.MaxRetrieval)
+			}
+		}
+	}
+}
+
+func TestBMRMonotoneInConstraint(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := graph.RandomBiTree(40, 1000, 50, rng)
+	bt, err := FromBiTreeGraph(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := graph.Infinite
+	for r := graph.Cost(0); r <= 2000; r += 100 {
+		res, err := BMR(bt, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost.Storage > prev {
+			t.Fatalf("r=%d: storage %d > previous %d (DP-BMR must be monotone, §7.3)", r, res.Cost.Storage, prev)
+		}
+		prev = res.Cost.Storage
+	}
+}
+
+func TestBMRInfeasibleAndTrivial(t *testing.T) {
+	g := graph.RandomBiTree(5, 100, 10, rand.New(rand.NewSource(2)))
+	bt, _ := FromBiTreeGraph(g, 0)
+	if _, err := BMR(bt, -1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	res, err := BMR(bt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Storage != g.TotalNodeStorage() {
+		t.Fatalf("BMR(0) = %d, want materialize-all %d", res.Cost.Storage, g.TotalNodeStorage())
+	}
+}
+
+func TestMSRExactOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for it := 0; it < 40; it++ {
+		g := graph.RandomBiTree(2+rng.Intn(6), 60, 12, rng)
+		bt, err := FromBiTreeGraph(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minStorage := msrMinStorage(t, g)
+		total := g.TotalNodeStorage()
+		for _, s := range []graph.Cost{minStorage, (minStorage + total) / 2, total} {
+			got, err := MSR(bt, s, MSROptions{})
+			if err != nil {
+				t.Fatalf("it %d s=%d: %v", it, s, err)
+			}
+			want, err := bruteforce.SolveMSR(g, s, 0)
+			if err != nil {
+				t.Fatalf("it %d s=%d: %v", it, s, err)
+			}
+			if got.Cost.SumRetrieval != want.Cost.SumRetrieval {
+				t.Fatalf("it %d s=%d: DP-MSR %d, brute force %d", it, s, got.Cost.SumRetrieval, want.Cost.SumRetrieval)
+			}
+			if got.Cost.Storage > s {
+				t.Fatalf("it %d s=%d: storage %d over budget", it, s, got.Cost.Storage)
+			}
+		}
+	}
+}
+
+func msrMinStorage(t *testing.T, g *graph.Graph) graph.Cost {
+	t.Helper()
+	res, err := bruteforce.SolveBMR(g, graph.Infinite/2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Cost.Storage
+}
+
+func TestMSRFrontierMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for it := 0; it < 15; it++ {
+		g := graph.RandomBiTree(2+rng.Intn(5), 40, 8, rng)
+		bt, err := FromBiTreeGraph(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := MSRFrontier(bt, MSROptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := dp.Frontier()
+		want, err := bruteforce.SumFrontier(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Points) != len(want.Points) {
+			t.Fatalf("it %d: frontier sizes %d vs %d\n got %+v\nwant %+v", it, len(got.Points), len(want.Points), got.Points, want.Points)
+		}
+		for i := range got.Points {
+			if got.Points[i] != want.Points[i] {
+				t.Fatalf("it %d point %d: %+v vs %+v", it, i, got.Points[i], want.Points[i])
+			}
+		}
+	}
+}
+
+func TestMSRBucketedStaysClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for it := 0; it < 25; it++ {
+		n := 2 + rng.Intn(7)
+		g := graph.RandomBiTree(n, 80, 15, rng)
+		bt, err := FromBiTreeGraph(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := g.TotalNodeStorage() * 2 / 3
+		exact, err := MSR(bt, s, MSROptions{})
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		for _, opt := range []MSROptions{
+			{Epsilon: 0.1},
+			{Epsilon: 0.1, Geometric: true},
+			{Epsilon: 0.5, Geometric: true, MaxStates: 64},
+		} {
+			approx, err := MSR(bt, s, opt)
+			if err != nil {
+				t.Fatalf("it %d opts %+v: %v", it, opt, err)
+			}
+			if approx.Cost.Storage > s {
+				t.Fatalf("it %d: budget violated", it)
+			}
+			if approx.Cost.SumRetrieval < exact.Cost.SumRetrieval {
+				t.Fatalf("it %d: approx %d beats exact %d (impossible)",
+					it, approx.Cost.SumRetrieval, exact.Cost.SumRetrieval)
+			}
+			// Generous absolute sanity bound: ε-bucketing may lose, but
+			// not more than the theoretical worst case n²·r_max.
+			slack := graph.Cost(float64(g.MaxEdgeRetrieval()) * float64(n*n) * opt.Epsilon)
+			if approx.Cost.SumRetrieval > exact.Cost.SumRetrieval+slack+1 {
+				t.Fatalf("it %d opts %+v: approx %d too far from exact %d",
+					it, opt, approx.Cost.SumRetrieval, exact.Cost.SumRetrieval)
+			}
+		}
+	}
+}
+
+func TestMSROnGraphHeuristicProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for it := 0; it < 30; it++ {
+		g := graph.Random(graph.RandomOptions{Nodes: 2 + rng.Intn(5), ExtraEdges: rng.Intn(6), Bidirected: true}, rng)
+		s := g.TotalNodeStorage()*2/3 + 1
+		res, err := MSROnGraph(g, s, 0, MSROptions{})
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				continue // tree restriction may make the budget infeasible
+			}
+			t.Fatalf("it %d: %v", it, err)
+		}
+		if !res.Cost.Feasible || res.Cost.Storage > s {
+			t.Fatalf("it %d: bad plan %+v", it, res.Cost)
+		}
+		opt, err := bruteforce.SolveMSR(g, s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost.SumRetrieval < opt.Cost.SumRetrieval {
+			t.Fatalf("it %d: heuristic %d beats optimum %d", it, res.Cost.SumRetrieval, opt.Cost.SumRetrieval)
+		}
+	}
+}
+
+func TestBMROnGraphHeuristicProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for it := 0; it < 30; it++ {
+		g := graph.Random(graph.RandomOptions{Nodes: 2 + rng.Intn(5), ExtraEdges: rng.Intn(6), Bidirected: true}, rng)
+		maxR := g.MaxEdgeRetrieval() * graph.Cost(g.N())
+		for _, r := range []graph.Cost{0, maxR / 2} {
+			res, err := BMROnGraph(g, r, 0)
+			if err != nil {
+				t.Fatalf("it %d: %v", it, err)
+			}
+			if !res.Cost.Feasible || res.Cost.MaxRetrieval > r {
+				t.Fatalf("it %d: bad plan %+v under r=%d", it, res.Cost, r)
+			}
+			opt, err := bruteforce.SolveBMR(g, r, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost.Storage < opt.Cost.Storage {
+				t.Fatalf("it %d: heuristic storage %d beats optimum %d", it, res.Cost.Storage, opt.Cost.Storage)
+			}
+		}
+	}
+}
+
+func TestMSRSingleNodeAndEmpty(t *testing.T) {
+	one := graph.NewWithNodes("one", 1, 7)
+	bt, err := FromBiTreeGraph(one, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MSR(bt, 7, MSROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Storage != 7 || res.Cost.SumRetrieval != 0 {
+		t.Fatalf("single node %+v", res.Cost)
+	}
+	if _, err := MSR(bt, 6, MSROptions{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	empty := graph.New("empty")
+	dp, err := MSRFrontierOnGraph(empty, 0, MSROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.Best(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractSpanningTreeFallback(t *testing.T) {
+	// A graph where node 0 cannot reach node 2 (directed), but the
+	// undirected skeleton is connected: Edmonds from 0 fails, Prim
+	// fallback succeeds.
+	g := graph.NewWithNodes("f", 3, 10)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(2, 1, 1, 1)
+	parent, err := ExtractSpanningTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent[0] != graph.None {
+		t.Fatal("root has parent")
+	}
+	count := 0
+	for _, p := range parent {
+		if p == graph.None {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("%d roots in spanning tree", count)
+	}
+	// Disconnected graphs get phantom links joining components; the DP
+	// then solves each component independently.
+	d := graph.NewWithNodes("d", 4, 10)
+	d.AddBiEdge(0, 1, 3, 3)
+	d.AddBiEdge(2, 3, 3, 3)
+	dparent, err := ExtractSpanningTree(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := 0
+	for _, p := range dparent {
+		if p == graph.None {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%d roots, want 1 (phantom-linked forest)", roots)
+	}
+	res, err := MSROnGraph(d, 26, 0, MSROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cost.Feasible {
+		t.Fatal("disconnected MSR plan infeasible")
+	}
+	if err := res.Plan.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	// Each component materializes one node and stores one delta.
+	if res.Cost.Storage != 10+3+10+3 || res.Cost.SumRetrieval != 6 {
+		t.Fatalf("disconnected MSR cost %+v, want storage 26 retrieval 6", res.Cost)
+	}
+}
+
+func TestSynthesizedEdgeNeverChosen(t *testing.T) {
+	// Chain 0→1 with no reverse delta: the bidirectional tree
+	// synthesizes 1→0. Retrieving 0 from a materialized 1 would be far
+	// cheaper than materializing the expensive node 0, but the delta
+	// does not exist, so both DPs must fall back to the only valid plan:
+	// materialize 0 and retrieve 1 through the real delta.
+	g := graph.New("syn")
+	g.AddNode(1_000_000) // node 0: expensive
+	g.AddNode(1)         // node 1: cheap
+	g.AddEdge(0, 1, 1, 1)
+	bt, err := FromParents(g, 0, []graph.NodeID{graph.None, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BMR(bt, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.Materialized[0] || res.Cost.Storage != 1_000_001 {
+		t.Fatalf("BMR chose an unrealizable plan: %+v", res.Cost)
+	}
+	msr, err := MSR(bt, graph.Infinite/2, MSROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msr.Cost.SumRetrieval != 0 && !msr.Plan.Materialized[0] {
+		t.Fatalf("MSR chose an unrealizable plan: %+v", msr.Cost)
+	}
+	if err := msr.Plan.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBMRParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for it := 0; it < 15; it++ {
+		g := graph.RandomBiTree(3+rng.Intn(40), 200, 30, rng)
+		bt, err := FromBiTreeGraph(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxR := g.MaxEdgeRetrieval() * 4
+		for _, r := range []graph.Cost{0, maxR / 2, maxR} {
+			seq, errS := BMR(bt, r)
+			for _, workers := range []int{1, 3, 8} {
+				par, errP := BMRParallel(bt, r, workers)
+				if (errS == nil) != (errP == nil) {
+					t.Fatalf("it %d r=%d w=%d: error mismatch %v vs %v", it, r, workers, errS, errP)
+				}
+				if errS != nil {
+					continue
+				}
+				if seq.Cost != par.Cost {
+					t.Fatalf("it %d r=%d w=%d: %+v vs %+v", it, r, workers, seq.Cost, par.Cost)
+				}
+				for v := range seq.Plan.Materialized {
+					if seq.Plan.Materialized[v] != par.Plan.Materialized[v] {
+						t.Fatalf("it %d r=%d w=%d: plans differ at node %d", it, r, workers, v)
+					}
+				}
+				for e := range seq.Plan.Stored {
+					if seq.Plan.Stored[e] != par.Plan.Stored[e] {
+						t.Fatalf("it %d r=%d w=%d: plans differ at edge %d", it, r, workers, e)
+					}
+				}
+			}
+		}
+	}
+	// Degenerate inputs.
+	if _, err := BMRParallel(&BiTree{G: graph.New("empty")}, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	one := graph.NewWithNodes("one", 1, 3)
+	bt, err := FromBiTreeGraph(one, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BMRParallel(bt, 0, 4)
+	if err != nil || res.Cost.Storage != 3 {
+		t.Fatalf("single node: %+v %v", res, err)
+	}
+	if _, err := BMRParallel(bt, -1, 2); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,481 @@
+package dptree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// MSROptions tunes DP-MSR. The zero value runs the exact DP (exponential
+// in the worst case but exact — the reference mode used against the brute
+// force oracle). Setting Epsilon enables the FPTAS-style state bucketing
+// of Section 5.1; Geometric and MaxStates enable the practical speedups
+// of Section 6.2.
+type MSROptions struct {
+	// Epsilon > 0 buckets root-retrieval and total-retrieval values so
+	// that at most poly(n, 1/ε) buckets survive per node; the returned
+	// retrieval is within OPT + ε·r_max·n on trees (Lemma 9 flavour).
+	Epsilon float64
+	// Geometric switches the discretization from linear ticks to
+	// geometric ticks (Section 6.2, speedup 2), which keeps far fewer
+	// states on instances with wide cost ranges.
+	Geometric bool
+	// MaxStates caps the number of states kept per node after bucketing
+	// (Section 6.2, speedup 3 generalization). 0 means unlimited.
+	MaxStates int
+	// PruneStorage drops partial solutions whose non-refundable storage
+	// exceeds the bound (Section 6.2, speedup 3). <0 disables pruning;
+	// 0 lets the solver pick (the storage constraint when solving, off
+	// when computing a frontier).
+	PruneStorage graph.Cost
+}
+
+type msrOp uint8
+
+const (
+	opInit msrOp = iota
+	opIndep
+	opDep
+	opSource
+)
+
+// msrState is a partial solution on the already-merged portion of a
+// subtree: node v plus the subtrees of its first merged children.
+//
+// Invariants (fromBelow == false, "rooted"): v is locally materialized
+// (sigma includes s_v); k counts the nodes whose retrieval path passes
+// through v (v included); rho is the exact total retrieval of the merged
+// nodes. The parent may later "uproot" v: refund s_v, store the parent
+// delta, and charge k·(edge + parent-side retrieval) extra.
+//
+// Invariants (fromBelow == true): v is retrieved from a materialized
+// descendant at exact cost gamma (already counted in rho); the
+// configuration of the merged portion is final except that later children
+// may still attach as dependents at cost k_c·(edge + gamma) each.
+type msrState struct {
+	fromBelow bool
+	k         int32
+	gamma     graph.Cost
+	sigma     graph.Cost
+	rho       graph.Cost
+
+	prev      *msrState // state of v before this merge step
+	child     *msrState // merged child state
+	childNode graph.NodeID
+	op        msrOp
+}
+
+type msrKey struct {
+	fromBelow bool
+	k         int32
+	gb        int64
+	rb        int64
+}
+
+// MSRDP is a completed DP-MSR run: the surviving states at the root,
+// which trace the whole storage/retrieval frontier in one run ("unlike
+// LMG and LMG-All, the DP algorithm returns a whole spectrum of solutions
+// at once", Section 7.2).
+type MSRDP struct {
+	tree   *BiTree
+	states []*msrState // root states sorted by sigma
+}
+
+// MSRResult is one extracted solution.
+type MSRResult struct {
+	Plan *plan.Plan
+	Cost plan.Cost
+}
+
+type bucketer struct {
+	linearTick float64
+	geoLog     float64
+}
+
+func newBucketer(opt MSROptions, t *BiTree) bucketer {
+	var b bucketer
+	if opt.Epsilon <= 0 {
+		return b
+	}
+	n := float64(t.N())
+	if opt.Geometric {
+		// Heuristic mode (Section 6.2): geometric ticks of ratio 1+ε
+		// keep the per-node bucket count proportional to the number of
+		// cost decades instead of n²/ε, which is what makes the DP
+		// practical — the bound of Lemma 9 is traded for speed.
+		b.geoLog = math.Log1p(opt.Epsilon)
+		return b
+	}
+	// FPTAS mode (Section 5.1): linear ticks of width ε·r_max/n².
+	rmax := float64(t.G.MaxEdgeRetrieval())
+	tick := opt.Epsilon * rmax / (n*n + 1)
+	if tick < 1 {
+		tick = 1
+	}
+	b.linearTick = tick
+	return b
+}
+
+func (b bucketer) bucket(x graph.Cost) int64 {
+	switch {
+	case b.geoLog > 0:
+		if x <= 0 {
+			return 0
+		}
+		return 1 + int64(math.Log(float64(x))/b.geoLog)
+	case b.linearTick > 0:
+		return int64(float64(x) / b.linearTick)
+	default:
+		return int64(x)
+	}
+}
+
+// kBucket merges dependency counts geometrically in heuristic mode; the
+// count only scales future uprooting costs, so nearby values are
+// interchangeable at ε precision.
+func (b bucketer) kBucket(k int32) int32 {
+	if b.geoLog == 0 || k <= 2 {
+		return k
+	}
+	bkt := int32(2)
+	for k > 2 {
+		k >>= 1
+		bkt++
+	}
+	return bkt
+}
+
+// MSRFrontier runs DP-MSR over the whole tree and returns the handle to
+// extract solutions for any storage constraint.
+func MSRFrontier(t *BiTree, opt MSROptions) (*MSRDP, error) {
+	n := t.N()
+	if n == 0 {
+		return &MSRDP{tree: t}, nil
+	}
+	b := newBucketer(opt, t)
+	pruneBound := opt.PruneStorage
+	if pruneBound == 0 {
+		pruneBound = -1 // frontier mode: no pruning by default
+	}
+	states := make([][]*msrState, n)
+	// Reverse preorder: children are processed before their parents.
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		cur := []*msrState{{k: 1, sigma: t.G.NodeStorage(v), rho: 0, op: opInit}}
+		for _, c := range t.Children[v] {
+			cur = mergeChild(t, v, c, cur, states[c], b, pruneBound, opt.MaxStates)
+			if len(cur) == 0 {
+				// Only the PruneStorage bound can empty a state set: no
+				// partial solution fits, so no full solution can either.
+				return nil, fmt.Errorf("%w: storage prune bound %d unreachable at node %d", ErrInfeasible, pruneBound, v)
+			}
+			states[c] = nil // children states stay reachable via chains
+		}
+		states[v] = cur
+	}
+	root := states[t.Root]
+	sort.Slice(root, func(i, j int) bool {
+		if root[i].sigma != root[j].sigma {
+			return root[i].sigma < root[j].sigma
+		}
+		return root[i].rho < root[j].rho
+	})
+	return &MSRDP{tree: t, states: root}, nil
+}
+
+// mergeChild combines the accumulated states of v with the final states
+// of child c under the three per-child decisions: independent subtree,
+// child dependent on v, or v retrieved from c's subtree. This sequential
+// composition is exactly the 8-case recurrence of Figure 7/14 without
+// vertex splitting (the cases are the 2·2·2 combinations of per-child
+// options on a binary node).
+func mergeChild(t *BiTree, v, c graph.NodeID, xs, ys []*msrState, b bucketer, pruneBound graph.Cost, maxStates int) []*msrState {
+	downID, sDown, rDown := t.DownEdge(c) // delta v → c
+	upID, sUp, rUp := t.UpEdge(c)         // delta c → v
+	sv := t.G.NodeStorage(v)
+	sc := t.G.NodeStorage(c)
+
+	best := make(map[msrKey]*msrState, len(xs)*2)
+	keep := func(fromBelow bool, k int32, gamma, sigma, rho graph.Cost, x, y *msrState, op msrOp) {
+		if pruneBound >= 0 {
+			refund := graph.Cost(0)
+			if !fromBelow {
+				refund = sv
+			}
+			if sigma-refund > pruneBound {
+				return
+			}
+		}
+		key := msrKey{fromBelow: fromBelow, k: b.kBucket(k), gb: b.bucket(gamma), rb: b.bucket(rho)}
+		if old, ok := best[key]; ok {
+			if old.sigma < sigma || (old.sigma == sigma && old.rho <= rho) {
+				return
+			}
+		}
+		best[key] = &msrState{
+			fromBelow: fromBelow, k: k, gamma: gamma, sigma: sigma, rho: rho,
+			prev: x, child: y, childNode: c, op: op,
+		}
+	}
+
+	for _, x := range xs {
+		for _, y := range ys {
+			// Option 1: independent — c's subtree resolves internally.
+			keep(x.fromBelow, x.k, x.gamma, x.sigma+y.sigma, x.rho+y.rho, x, y, opIndep)
+
+			// Option 2: dependent — uproot a rooted child state and
+			// retrieve c (and its k_c dependents) through v via the
+			// delta (v,c). Skipped when the graph lacks that delta
+			// (synthesized direction).
+			if !y.fromBelow && downID != graph.None {
+				gx := graph.Cost(0)
+				k := x.k
+				if x.fromBelow {
+					gx = x.gamma
+				} else {
+					k = x.k + y.k
+				}
+				sigma := x.sigma + y.sigma - sc + sDown
+				rho := x.rho + y.rho + graph.Cost(y.k)*(rDown+gx)
+				keep(x.fromBelow, k, x.gamma, sigma, rho, x, y, opDep)
+			}
+
+			// Option 3: source — v is retrieved from c's subtree via the
+			// delta (c,v); allowed once, while v is still rooted. All of
+			// v's current dependents (x.k nodes, v included) pay gamma.
+			// Skipped when the graph lacks the upward delta.
+			if !x.fromBelow && upID != graph.None {
+				gy := graph.Cost(0)
+				if y.fromBelow {
+					gy = y.gamma
+				}
+				gamma := gy + rUp
+				sigma := x.sigma - sv + y.sigma + sUp
+				rho := x.rho + y.rho + graph.Cost(x.k)*gamma
+				keep(true, 0, gamma, sigma, rho, x, y, opSource)
+			}
+		}
+	}
+
+	out := make([]*msrState, 0, len(best))
+	for _, s := range best {
+		out = append(out, s)
+	}
+	if maxStates > 0 && len(out) > maxStates {
+		out = capStates(out, maxStates)
+	}
+	// Deterministic order for reproducible runs.
+	sort.Slice(out, func(i, j int) bool { return stateLess(out[i], out[j]) })
+	return out
+}
+
+func stateLess(a, z *msrState) bool {
+	if a.sigma != z.sigma {
+		return a.sigma < z.sigma
+	}
+	if a.rho != z.rho {
+		return a.rho < z.rho
+	}
+	if a.fromBelow != z.fromBelow {
+		return !a.fromBelow
+	}
+	if a.k != z.k {
+		return a.k < z.k
+	}
+	return a.gamma < z.gamma
+}
+
+// capStates keeps at most maxStates states, stratified across the
+// storage range so the DP's one-run frontier stays informative at both
+// its cheap-storage and cheap-retrieval ends: states are sorted by σ,
+// split into equal-rank strata, and each stratum keeps its best-ρ state.
+// The cheapest rooted and from-below states are always preserved so
+// upstream merges never lose feasibility.
+func capStates(states []*msrState, maxStates int) []*msrState {
+	var bestRooted, bestBelow *msrState
+	for _, s := range states {
+		if s.fromBelow {
+			if bestBelow == nil || stateLess(s, bestBelow) {
+				bestBelow = s
+			}
+		} else {
+			if bestRooted == nil || stateLess(s, bestRooted) {
+				bestRooted = s
+			}
+		}
+	}
+	sort.Slice(states, func(i, j int) bool { return stateLess(states[i], states[j]) })
+	out := make([]*msrState, 0, maxStates)
+	strata := maxStates
+	if strata < 1 {
+		strata = 1
+	}
+	for s := 0; s < strata; s++ {
+		lo := len(states) * s / strata
+		hi := len(states) * (s + 1) / strata
+		var best *msrState
+		for _, st := range states[lo:hi] {
+			if best == nil || st.rho < best.rho || (st.rho == best.rho && stateLess(st, best)) {
+				best = st
+			}
+		}
+		if best != nil {
+			out = append(out, best)
+		}
+	}
+	hasRooted, hasBelow := false, false
+	for _, s := range out {
+		if s == bestRooted {
+			hasRooted = true
+		}
+		if s == bestBelow {
+			hasBelow = true
+		}
+	}
+	// Re-insert the feasibility anchors at the cheap-storage end: the
+	// expensive end holds the low-retrieval states (e.g. the
+	// materialize-everything configuration) that the frontier must keep.
+	if !hasRooted && bestRooted != nil {
+		out[0] = bestRooted
+	}
+	if !hasBelow && bestBelow != nil && len(out) >= 2 {
+		out[1] = bestBelow
+	}
+	return out
+}
+
+// Frontier returns the Pareto points (storage, total retrieval) of the
+// run.
+func (d *MSRDP) Frontier() *plan.Frontier {
+	f := &plan.Frontier{}
+	best := graph.Infinite
+	for _, s := range d.states { // sorted by sigma
+		if s.rho < best {
+			best = s.rho
+			f.Add(s.sigma, s.rho)
+		}
+	}
+	return f
+}
+
+// Best extracts the minimum-retrieval solution with storage ≤ s.
+func (d *MSRDP) Best(s graph.Cost) (MSRResult, error) {
+	if d.tree.N() == 0 {
+		return MSRResult{Plan: plan.New(d.tree.G), Cost: plan.Cost{Feasible: true}}, nil
+	}
+	var chosen *msrState
+	for _, st := range d.states {
+		if st.sigma > s {
+			continue
+		}
+		if chosen == nil || st.rho < chosen.rho || (st.rho == chosen.rho && st.sigma < chosen.sigma) {
+			chosen = st
+		}
+	}
+	if chosen == nil {
+		return MSRResult{}, ErrInfeasible
+	}
+	return d.extract(chosen)
+}
+
+func (d *MSRDP) extract(root *msrState) (MSRResult, error) {
+	p := plan.New(d.tree.G)
+	if err := d.reconstruct(p, d.tree.Root, root, true); err != nil {
+		return MSRResult{}, err
+	}
+	c := plan.Evaluate(d.tree.G, p)
+	if !c.Feasible {
+		return MSRResult{}, errors.New("dptree: internal error, reconstructed MSR plan infeasible")
+	}
+	if c.Storage != root.sigma || c.SumRetrieval > root.rho {
+		return MSRResult{}, fmt.Errorf("dptree: internal error, plan (σ=%d, ρ=%d) does not match state (σ=%d, ρ=%d)",
+			c.Storage, c.SumRetrieval, root.sigma, root.rho)
+	}
+	return MSRResult{Plan: p, Cost: c}, nil
+}
+
+// reconstruct walks a state chain, storing the deltas its merge decisions
+// imply. keep reports whether v keeps its own materialization when the
+// final mode is rooted (false when the parent uprooted v).
+func (d *MSRDP) reconstruct(p *plan.Plan, v graph.NodeID, final *msrState, keep bool) error {
+	if !final.fromBelow && keep {
+		p.Materialized[v] = true
+	}
+	for s := final; s.op != opInit; s = s.prev {
+		c := s.childNode
+		switch s.op {
+		case opIndep:
+			if err := d.reconstruct(p, c, s.child, true); err != nil {
+				return err
+			}
+		case opDep:
+			id, _, _ := d.tree.DownEdge(c)
+			if id == graph.None {
+				return ErrSynthesizedEdge
+			}
+			p.Stored[id] = true
+			if err := d.reconstruct(p, c, s.child, false); err != nil {
+				return err
+			}
+		case opSource:
+			id, _, _ := d.tree.UpEdge(c)
+			if id == graph.None {
+				return ErrSynthesizedEdge
+			}
+			p.Stored[id] = true
+			if err := d.reconstruct(p, c, s.child, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MSR solves MinSum Retrieval on a bidirectional tree under storage
+// constraint s. With zero options the answer is exact; with Epsilon /
+// MaxStates it is the Section 6.2 heuristic.
+func MSR(t *BiTree, s graph.Cost, opt MSROptions) (MSRResult, error) {
+	if opt.PruneStorage == 0 {
+		opt.PruneStorage = s
+	}
+	dp, err := MSRFrontier(t, opt)
+	if err != nil {
+		return MSRResult{}, err
+	}
+	return dp.Best(s)
+}
+
+// MSROnGraph runs the DP-MSR heuristic on an arbitrary version graph
+// (Section 6.2): extract a spanning bidirectional tree rooted at root and
+// run the tree DP on it.
+func MSROnGraph(g *graph.Graph, s graph.Cost, root graph.NodeID, opt MSROptions) (MSRResult, error) {
+	if opt.PruneStorage == 0 {
+		opt.PruneStorage = s
+	}
+	dp, err := MSRFrontierOnGraph(g, root, opt)
+	if err != nil {
+		return MSRResult{}, err
+	}
+	return dp.Best(s)
+}
+
+// MSRFrontierOnGraph extracts a spanning bidirectional tree and returns
+// the full DP frontier handle.
+func MSRFrontierOnGraph(g *graph.Graph, root graph.NodeID, opt MSROptions) (*MSRDP, error) {
+	if g.N() == 0 {
+		return &MSRDP{tree: &BiTree{G: g}}, nil
+	}
+	parent, err := ExtractSpanningTree(g, root)
+	if err != nil {
+		return nil, err
+	}
+	t, err := FromParents(g, root, parent)
+	if err != nil {
+		return nil, err
+	}
+	return MSRFrontier(t, opt)
+}

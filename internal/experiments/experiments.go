@@ -1,0 +1,438 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7): Table 4 (dataset overview), Figures 10–12 (MSR
+// on natural / compressed / compressed-ER graphs, performance and run
+// time) and Figure 13 (BMR on natural graphs), plus the Theorem 1
+// demonstration and the footnote-7 treewidth measurements. Results are
+// returned as structured series and rendered as ASCII tables by the
+// dsvbench command and the bench harness.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dptree"
+	"repro/internal/graph"
+	"repro/internal/ilp"
+	"repro/internal/lmg"
+	"repro/internal/mp"
+	"repro/internal/plan"
+	"repro/internal/repogen"
+	"repro/internal/treewidth"
+)
+
+// Config scales the evaluation. The defaults (via Default) keep every
+// experiment laptop-fast; Scale=1 reproduces the full Table 4 sizes.
+type Config struct {
+	// Scale multiplies dataset sizes (1.0 = the paper's node counts).
+	Scale float64
+	// SweepPoints is the number of constraint samples per curve.
+	SweepPoints int
+	// Epsilon / MaxStates tune DP-MSR (the paper uses ε=0.05, ε=0.1 on
+	// freeCodeCamp).
+	Epsilon   float64
+	MaxStates int
+	// ILP enables the OPT line on datasharing-scale graphs.
+	ILP bool
+	// MaxILPNodes bounds the branch-and-bound effort per sweep point.
+	MaxILPNodes int
+}
+
+// Default is the CI-friendly configuration.
+func Default() Config {
+	return Config{Scale: 0.12, SweepPoints: 6, Epsilon: 0.05, MaxStates: 512, ILP: true, MaxILPNodes: 600}
+}
+
+// Point is one sweep sample of one algorithm.
+type Point struct {
+	Constraint graph.Cost
+	Objective  graph.Cost
+	Millis     float64
+	Infeasible bool
+	// Bound marks an objective that is a certified upper bound but not a
+	// proven optimum (a truncated branch-and-bound incumbent).
+	Bound bool
+}
+
+// Series is one algorithm's curve.
+type Series struct {
+	Algorithm string
+	Points    []Point
+}
+
+// Result is one dataset's panel of a figure.
+type Result struct {
+	Figure  string
+	Dataset string
+	XLabel  string
+	YLabel  string
+	Series  []Series
+}
+
+// scaledSpecs shrinks the Table 4 datasets by cfg.Scale, keeping
+// datasharing at full size (it is already tiny) and keeping every
+// dataset's cost model untouched.
+func scaledSpecs(cfg Config) []repogen.Spec {
+	specs := repogen.Table4Specs()
+	for i := range specs {
+		if specs[i].Name == "datasharing" {
+			continue
+		}
+		n := int(float64(specs[i].Commits) * cfg.Scale)
+		if n < 24 {
+			n = 24
+		}
+		e := int(float64(specs[i].ExtraBiEdges) * cfg.Scale)
+		specs[i].Commits = n
+		specs[i].ExtraBiEdges = e
+	}
+	return specs
+}
+
+func msrSweep(g *graph.Graph, cfg Config, withILP bool) Result {
+	res := Result{Dataset: g.Name, XLabel: "storage", YLabel: "total retrieval"}
+	_, minStorage, err := plan.MinStorage(g)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", g.Name, err))
+	}
+	// The paper sweeps storage budgets in a small multiple of the
+	// minimum storage (e.g. Figure 10's datasharing axis spans ≈2–4×
+	// min storage), which is also where the pruned DP concentrates its
+	// states (Section 6.2 prunes at 2×/10× minimum storage).
+	hi := 4 * minStorage
+	if total := g.TotalNodeStorage(); hi > total {
+		hi = total
+	}
+	budgets := sweep(minStorage, hi, cfg.SweepPoints)
+
+	lmgSeries := Series{Algorithm: "LMG"}
+	lmgAllSeries := Series{Algorithm: "LMG-All"}
+	for _, s := range budgets {
+		start := time.Now()
+		r, err := lmg.LMG(g, s)
+		lmgSeries.Points = append(lmgSeries.Points, point(s, r.Cost.SumRetrieval, start, err))
+		start = time.Now()
+		ra, err := lmg.LMGAll(g, s, lmg.Options{})
+		lmgAllSeries.Points = append(lmgAllSeries.Points, point(s, ra.Cost.SumRetrieval, start, err))
+	}
+
+	// DP-MSR computes the whole frontier in one run; its run time is
+	// reported once for the sweep (the horizontal line of Figure 11).
+	dpSeries := Series{Algorithm: "DP-MSR"}
+	start := time.Now()
+	dp, err := dptree.MSRFrontierOnGraph(g, 0, dptree.MSROptions{
+		Epsilon: cfg.Epsilon, Geometric: true, MaxStates: cfg.MaxStates,
+		PruneStorage: budgets[len(budgets)-1],
+	})
+	dpMillis := ms(start)
+	for _, s := range budgets {
+		if err != nil {
+			dpSeries.Points = append(dpSeries.Points, Point{Constraint: s, Infeasible: true, Millis: dpMillis})
+			continue
+		}
+		best, berr := dp.Best(s)
+		p := point(s, best.Cost.SumRetrieval, start, berr)
+		p.Millis = dpMillis
+		dpSeries.Points = append(dpSeries.Points, p)
+	}
+
+	res.Series = append(res.Series, lmgSeries, lmgAllSeries, dpSeries)
+
+	if withILP && cfg.ILP {
+		optSeries := Series{Algorithm: "OPT(ILP)"}
+		for i, s := range budgets {
+			var seed *plan.Plan
+			if !lmgAllSeries.Points[i].Infeasible {
+				if r, err := lmg.LMGAll(g, s, lmg.Options{}); err == nil {
+					seed = r.Plan
+				}
+			}
+			start := time.Now()
+			r, err := ilp.SolveMSR(g, s, ilp.Options{MaxNodes: cfg.MaxILPNodes, Incumbent: seed})
+			p := point(s, r.Cost.SumRetrieval, start, err)
+			// A truncated branch-and-bound incumbent is a certified
+			// upper bound, not a proven optimum; mark it so tables
+			// render "≤x" (the paper's Gurobi proved these instances,
+			// our stdlib solver certifies smaller ones — DESIGN.md §4.2).
+			p.Bound = err == nil && !r.Proven
+			optSeries.Points = append(optSeries.Points, p)
+		}
+		res.Series = append(res.Series, optSeries)
+	}
+	return res
+}
+
+func bmrSweep(g *graph.Graph, cfg Config) Result {
+	res := Result{Dataset: g.Name, XLabel: "max retrieval", YLabel: "storage"}
+	// Retrieval range: 0 up to the max retrieval of the min-storage
+	// tree (beyond it the constraint stops binding).
+	minPlan, _, err := plan.MinStorage(g)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", g.Name, err))
+	}
+	maxR := plan.Evaluate(g, minPlan).MaxRetrieval
+	bounds := sweep(0, maxR, cfg.SweepPoints)
+
+	mpSeries := Series{Algorithm: "MP"}
+	dpSeries := Series{Algorithm: "DP-BMR"}
+	for _, r := range bounds {
+		start := time.Now()
+		m, err := mp.Solve(g, r)
+		mpSeries.Points = append(mpSeries.Points, point(r, m.Cost.Storage, start, err))
+		start = time.Now()
+		d, err := dptree.BMROnGraph(g, r, 0)
+		dpSeries.Points = append(dpSeries.Points, point(r, d.Cost.Storage, start, err))
+	}
+	res.Series = append(res.Series, mpSeries, dpSeries)
+	return res
+}
+
+func point(c, obj graph.Cost, start time.Time, err error) Point {
+	p := Point{Constraint: c, Millis: ms(start)}
+	if err != nil {
+		p.Infeasible = true
+		return p
+	}
+	p.Objective = obj
+	return p
+}
+
+func ms(start time.Time) float64 { return float64(time.Since(start).Microseconds()) / 1000 }
+
+func sweep(lo, hi graph.Cost, points int) []graph.Cost {
+	if points < 2 {
+		points = 2
+	}
+	out := make([]graph.Cost, points)
+	for i := 0; i < points; i++ {
+		out[i] = lo + (hi-lo)*graph.Cost(i)/graph.Cost(points-1)
+	}
+	return out
+}
+
+// Table4 generates the scaled datasets and returns their statistics in
+// the shape of the paper's Table 4 (plus the LeetCode ER variants).
+func Table4(cfg Config) []graph.Stats {
+	var out []graph.Stats
+	for _, spec := range scaledSpecs(cfg) {
+		out = append(out, repogen.Generate(spec).Stats())
+	}
+	erNodes := int(246 * cfg.Scale)
+	if erNodes < 24 {
+		erNodes = 24
+	}
+	for _, p := range []float64{0.05, 0.2, 1} {
+		g := erGraph(p, erNodes)
+		out = append(out, g.Stats())
+	}
+	return out
+}
+
+func erGraph(p float64, nodes int) *graph.Graph {
+	full := repogen.LeetCodeER(p, 42)
+	if nodes >= full.N() {
+		return full
+	}
+	// Subsample the first nodes deterministically.
+	g := graph.New(full.Name)
+	for v := 0; v < nodes; v++ {
+		g.AddNode(full.NodeStorage(graph.NodeID(v)))
+	}
+	for _, e := range full.Edges() {
+		if int(e.From) < nodes && int(e.To) < nodes {
+			g.AddEdge(e.From, e.To, e.Storage, e.Retrieval)
+		}
+	}
+	return g
+}
+
+// figureDatasets picks the dataset panels used by the MSR figures.
+func figureDatasets(cfg Config, names ...string) []*graph.Graph {
+	var out []*graph.Graph
+	for _, spec := range scaledSpecs(cfg) {
+		for _, n := range names {
+			if spec.Name == n {
+				out = append(out, repogen.Generate(spec))
+			}
+		}
+	}
+	return out
+}
+
+// Figure10 reproduces "Performance of MSR algorithms on natural graphs":
+// LMG vs LMG-All vs DP-MSR (and ILP OPT on datasharing).
+func Figure10(cfg Config) []Result {
+	var out []Result
+	for _, g := range figureDatasets(cfg, "datasharing", "styleguide", "996.ICU", "freeCodeCamp") {
+		r := msrSweep(g, cfg, g.Name == "datasharing")
+		r.Figure = "Figure 10 (MSR, natural)"
+		out = append(out, r)
+	}
+	return out
+}
+
+// Figure11 reproduces "Performance and run time of MSR algorithms on
+// compressed graphs": the random-compression transform breaks the
+// single-weight property.
+func Figure11(cfg Config) []Result {
+	var out []Result
+	for i, g := range figureDatasets(cfg, "datasharing", "styleguide", "996.ICU") {
+		c := graph.Compress(g, rand.New(rand.NewSource(int64(2000+i))))
+		c.Name = g.Name
+		r := msrSweep(c, cfg, g.Name == "datasharing")
+		r.Figure = "Figure 11 (MSR, compressed)"
+		out = append(out, r)
+	}
+	return out
+}
+
+// Figure12 reproduces "Performance and run time of MSR algorithms on
+// compressed ER graphs" over LeetCode (original, p=0.05, 0.2, complete).
+func Figure12(cfg Config) []Result {
+	nodes := int(246 * cfg.Scale)
+	if nodes < 24 {
+		nodes = 24
+	}
+	panels := []*graph.Graph{}
+	for _, spec := range scaledSpecs(cfg) {
+		if spec.Name == "LeetCodeAnimation" {
+			g := repogen.Generate(spec)
+			g.Name = "LeetCode (original)"
+			panels = append(panels, g)
+		}
+	}
+	for _, p := range []float64{0.05, 0.2, 1} {
+		panels = append(panels, erGraph(p, nodes))
+	}
+	var out []Result
+	for i, g := range panels {
+		c := graph.Compress(g, rand.New(rand.NewSource(int64(3000+i))))
+		c.Name = g.Name
+		r := msrSweep(c, cfg, false)
+		r.Figure = "Figure 12 (MSR, compressed ER)"
+		out = append(out, r)
+	}
+	return out
+}
+
+// Figure13 reproduces "Performance and run time of BMR algorithms on
+// natural version graphs": MP vs DP-BMR.
+func Figure13(cfg Config) []Result {
+	var out []Result
+	for _, g := range figureDatasets(cfg, "styleguide", "freeCodeCamp") {
+		r := bmrSweep(g, cfg)
+		r.Figure = "Figure 13 (BMR, natural)"
+		out = append(out, r)
+	}
+	return out
+}
+
+// Theorem1 demonstrates the unbounded LMG gap on adversarial chains.
+type Theorem1Row struct {
+	Ratio        graph.Cost // c/b
+	LMG, LMGAll  graph.Cost
+	Optimal      graph.Cost
+	LMGOverOPT   graph.Cost
+	DPMSRMatches bool
+}
+
+// Treewidths reports the footnote-7 measurement: decomposition widths of
+// the (scaled) datasets under both heuristics and the MMD lower bound.
+type TreewidthRow struct {
+	Dataset            string
+	MinDegree, MinFill int
+	LowerBound         int
+}
+
+// Treewidths measures dataset treewidths.
+func Treewidths(cfg Config) []TreewidthRow {
+	var out []TreewidthRow
+	for _, spec := range scaledSpecs(cfg) {
+		if spec.Name == "freeCodeCamp" && cfg.Scale > 0.2 {
+			continue // min-fill is quadratic; skip the giant at full scale
+		}
+		g := repogen.Generate(spec)
+		md := treewidth.Decompose(g, treewidth.MinDegree)
+		mf := treewidth.Decompose(g, treewidth.MinFill)
+		out = append(out, TreewidthRow{
+			Dataset:    spec.Name,
+			MinDegree:  md.Width(),
+			MinFill:    mf.Width(),
+			LowerBound: treewidth.LowerBoundMMD(g),
+		})
+	}
+	return out
+}
+
+// Render formats a Result as an ASCII table.
+func Render(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.Figure, r.Dataset)
+	fmt.Fprintf(&b, "%14s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " | %16s %9s", s.Algorithm+" "+r.YLabel, "ms")
+	}
+	b.WriteString("\n")
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	for i := range r.Series[0].Points {
+		fmt.Fprintf(&b, "%14d", r.Series[0].Points[i].Constraint)
+		for _, s := range r.Series {
+			p := s.Points[i]
+			switch {
+			case p.Infeasible:
+				fmt.Fprintf(&b, " | %16s %9.2f", "—", p.Millis)
+			case p.Bound:
+				fmt.Fprintf(&b, " | %16s %9.2f", fmt.Sprintf("≤%d", p.Objective), p.Millis)
+			default:
+				fmt.Fprintf(&b, " | %16d %9.2f", p.Objective, p.Millis)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderStats formats Table 4.
+func RenderStats(stats []graph.Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %8s %14s %14s\n", "Dataset", "#nodes", "#edges", "avg cost s_v", "avg cost s_e")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-22s %8d %8d %14d %14d\n", s.Name, s.Nodes, s.Edges, s.AvgNodeCost, s.AvgEdgeCost)
+	}
+	return b.String()
+}
+
+// RenderTreewidths formats the footnote-7 table.
+func RenderTreewidths(rows []TreewidthRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %10s %8s %11s\n", "Dataset", "min-degree", "min-fill", "lower bound")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %10d %8d %11d\n", r.Dataset, r.MinDegree, r.MinFill, r.LowerBound)
+	}
+	return b.String()
+}
+
+// Winner returns the algorithm with the best (lowest) objective at the
+// largest constraint of the sweep, used by tests to check the paper's
+// qualitative claims.
+func Winner(r Result) string {
+	best := ""
+	bestObj := graph.Infinite
+	for _, s := range r.Series {
+		p := s.Points[len(s.Points)-1]
+		if !p.Infeasible && p.Objective < bestObj {
+			best, bestObj = s.Algorithm, p.Objective
+		}
+	}
+	return best
+}
+
+// SortSeries orders series by name for deterministic rendering.
+func SortSeries(r *Result) {
+	sort.Slice(r.Series, func(i, j int) bool { return r.Series[i].Algorithm < r.Series[j].Algorithm })
+}

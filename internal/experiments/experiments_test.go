@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func tinyConfig() Config {
+	return Config{Scale: 0.02, SweepPoints: 4, Epsilon: 0.2, MaxStates: 64, ILP: true, MaxILPNodes: 1500}
+}
+
+func TestTable4(t *testing.T) {
+	stats := Table4(tinyConfig())
+	if len(stats) != 8 {
+		t.Fatalf("%d dataset rows, want 8", len(stats))
+	}
+	for _, s := range stats {
+		if s.Nodes == 0 || s.Edges == 0 {
+			t.Fatalf("empty dataset %q", s.Name)
+		}
+	}
+	table := RenderStats(stats)
+	for _, name := range []string{"datasharing", "styleguide", "996.ICU", "freeCodeCamp", "LeetCode (1)"} {
+		if !strings.Contains(table, name) {
+			t.Fatalf("table missing %s:\n%s", name, table)
+		}
+	}
+}
+
+func checkSweep(t *testing.T, results []Result, algorithms ...string) {
+	t.Helper()
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range results {
+		if len(r.Series) < len(algorithms) {
+			t.Fatalf("%s/%s: %d series, want ≥ %d", r.Figure, r.Dataset, len(r.Series), len(algorithms))
+		}
+		for _, want := range algorithms {
+			found := false
+			for _, s := range r.Series {
+				if s.Algorithm == want {
+					found = true
+					// Objectives must be monotone non-increasing for
+					// exact/frontier methods... at minimum, finite at the
+					// loosest constraint.
+					last := s.Points[len(s.Points)-1]
+					if last.Infeasible {
+						t.Fatalf("%s/%s/%s: infeasible at loosest constraint", r.Figure, r.Dataset, want)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("%s/%s: missing series %s", r.Figure, r.Dataset, want)
+			}
+		}
+		if out := Render(r); !strings.Contains(out, r.Dataset) {
+			t.Fatal("render missing dataset name")
+		}
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	results := Figure10(tinyConfig())
+	checkSweep(t, results, "LMG", "LMG-All", "DP-MSR")
+	// The datasharing panel carries the ILP OPT line; no algorithm may
+	// beat it where both are feasible.
+	for _, r := range results {
+		if r.Dataset != "datasharing" {
+			continue
+		}
+		var opt *Series
+		for i := range r.Series {
+			if r.Series[i].Algorithm == "OPT(ILP)" {
+				opt = &r.Series[i]
+			}
+		}
+		if opt == nil {
+			t.Fatal("datasharing panel missing OPT(ILP)")
+		}
+		for _, s := range r.Series {
+			for i, p := range s.Points {
+				o := opt.Points[i]
+				if !p.Infeasible && !o.Infeasible && !o.Bound && p.Objective < o.Objective {
+					t.Fatalf("%s beats proven OPT at point %d: %d < %d", s.Algorithm, i, p.Objective, o.Objective)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure11And12(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ILP = false // the OPT line is exercised by TestFigure10
+	checkSweep(t, Figure11(cfg), "LMG", "LMG-All", "DP-MSR")
+	checkSweep(t, Figure12(cfg), "LMG", "LMG-All", "DP-MSR")
+}
+
+func TestFigure13(t *testing.T) {
+	results := Figure13(tinyConfig())
+	checkSweep(t, results, "MP", "DP-BMR")
+	for _, r := range results {
+		var dp *Series
+		for i := range r.Series {
+			if r.Series[i].Algorithm == "DP-BMR" {
+				dp = &r.Series[i]
+			}
+		}
+		// DP-BMR objective must decrease monotonically in the constraint
+		// (Section 7.3 observation).
+		prev := graph.Infinite
+		for _, p := range dp.Points {
+			if p.Infeasible {
+				t.Fatal("DP-BMR infeasible inside sweep")
+			}
+			if p.Objective > prev {
+				t.Fatalf("%s: DP-BMR not monotone", r.Dataset)
+			}
+			prev = p.Objective
+		}
+	}
+}
+
+func TestTheorem1Experiment(t *testing.T) {
+	rows := Theorem1([]graph.Cost{10, 50})
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.LMGOverOPT != r.Ratio {
+			t.Fatalf("ratio %d: LMG/OPT = %d", r.Ratio, r.LMGOverOPT)
+		}
+		if !r.DPMSRMatches {
+			t.Fatalf("ratio %d: DP-MSR missed the optimum on a chain", r.Ratio)
+		}
+	}
+	if out := RenderTheorem1(rows); !strings.Contains(out, "LMG/OPT") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestTreewidths(t *testing.T) {
+	rows := Treewidths(tinyConfig())
+	if len(rows) < 4 {
+		t.Fatalf("%d treewidth rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MinDegree < r.LowerBound || r.MinFill < r.LowerBound {
+			t.Fatalf("%s: heuristic width below lower bound", r.Dataset)
+		}
+		if r.MinDegree > 16 {
+			t.Fatalf("%s: width %d too high for a version graph", r.Dataset, r.MinDegree)
+		}
+	}
+	if out := RenderTreewidths(rows); !strings.Contains(out, "min-fill") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestSweepAndWinner(t *testing.T) {
+	pts := sweep(0, 100, 5)
+	if len(pts) != 5 || pts[0] != 0 || pts[4] != 100 {
+		t.Fatalf("sweep = %v", pts)
+	}
+	r := Result{Series: []Series{
+		{Algorithm: "A", Points: []Point{{Objective: 10}}},
+		{Algorithm: "B", Points: []Point{{Objective: 5}}},
+	}}
+	if Winner(r) != "B" {
+		t.Fatal("winner wrong")
+	}
+	SortSeries(&r)
+	if r.Series[0].Algorithm != "A" {
+		t.Fatal("sort wrong")
+	}
+}

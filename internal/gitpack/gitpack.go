@@ -1,0 +1,80 @@
+// Package gitpack implements the git pack-objects window heuristic as a
+// storage-plan baseline. The paper's related work (Section 1.2.3) points
+// at it: git sorts objects, slides a fixed-size window over the order,
+// and deltas each object against the best candidate inside the window;
+// Bhattacherjee et al. [VLDB'15] showed the strategy is weak compared to
+// version-graph-aware methods, which this package lets the benchmarks
+// demonstrate.
+package gitpack
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// Options tunes the heuristic.
+type Options struct {
+	// Window is the number of preceding candidates each version may
+	// delta against (git's --window, default 10).
+	Window int
+	// SortBySize orders versions by decreasing materialization cost
+	// (git's type-size heuristic); false keeps insertion (commit) order.
+	SortBySize bool
+}
+
+// Result is the produced plan.
+type Result struct {
+	Plan *plan.Plan
+	Cost plan.Cost
+}
+
+// Solve builds a storage plan in git's manner: walk the versions in the
+// chosen order; for each, consider only the deltas arriving from the
+// previous Window versions in the order and take the cheapest-storage
+// one; if none exists (or materializing is cheaper), materialize. The
+// result is always feasible — every delta target points backward in the
+// order, so retrieval chains terminate at a materialized version.
+func Solve(g *graph.Graph, opt Options) Result {
+	window := opt.Window
+	if window <= 0 {
+		window = 10
+	}
+	n := g.N()
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	if opt.SortBySize {
+		sort.SliceStable(order, func(i, j int) bool {
+			return g.NodeStorage(order[i]) > g.NodeStorage(order[j])
+		})
+	}
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	p := plan.New(g)
+	for i, v := range order {
+		bestEdge := graph.EdgeID(graph.None)
+		bestCost := g.NodeStorage(v) // materializing is the fallback
+		for _, id := range g.In(v) {
+			e := g.Edge(id)
+			d := i - pos[e.From]
+			if d <= 0 || d > window {
+				continue
+			}
+			if e.Storage < bestCost {
+				bestCost = e.Storage
+				bestEdge = id
+			}
+		}
+		if bestEdge == graph.EdgeID(graph.None) {
+			p.Materialized[v] = true
+		} else {
+			p.Stored[bestEdge] = true
+		}
+	}
+	return Result{Plan: p, Cost: plan.Evaluate(g, p)}
+}

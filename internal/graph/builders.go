@@ -1,0 +1,108 @@
+package graph
+
+import "math/rand"
+
+// Figure1 builds the 5-version example of Figure 1 in the paper:
+// annotations ⟨a,b⟩ are (storage, retrieval) pairs. Edges are directed
+// from the materializable ancestor toward the derived version, as drawn.
+func Figure1() *Graph {
+	g := New("figure1")
+	v1 := g.AddNode(10000)
+	v2 := g.AddNode(10100)
+	v3 := g.AddNode(9700)
+	v4 := g.AddNode(9800)
+	v5 := g.AddNode(10120)
+	g.AddEdge(v1, v2, 200, 200)
+	g.AddEdge(v1, v3, 1000, 3000)
+	g.AddEdge(v2, v4, 50, 400)
+	g.AddEdge(v2, v5, 800, 2500)
+	g.AddEdge(v3, v5, 200, 550)
+	return g
+}
+
+// Chain builds a directed path v0 → v1 → … → v_{n-1} with the given node
+// storage costs and identical (s,r) on every edge.
+func Chain(n int, nodeCost, edgeStorage, edgeRetrieval Cost) *Graph {
+	g := NewWithNodes("chain", n, nodeCost)
+	for v := 1; v < n; v++ {
+		g.AddEdge(NodeID(v-1), NodeID(v), edgeStorage, edgeRetrieval)
+	}
+	return g
+}
+
+// RandomOptions controls Random.
+type RandomOptions struct {
+	Nodes        int
+	ExtraEdges   int  // edges beyond the spanning bidirectional tree
+	Bidirected   bool // add the reverse of every delta
+	MaxNodeCost  Cost // node costs uniform in [MaxNodeCost/2, MaxNodeCost]
+	MaxEdgeCost  Cost // edge storage/retrieval uniform in [1, MaxEdgeCost]
+	SingleWeight bool // force s_e == r_e (single weight function, §2.2)
+}
+
+// Random builds a connected random version graph for property tests: a
+// random spanning tree on Nodes vertices (bidirectional deltas, so every
+// instance is feasible for any storage constraint ≥ min storage), plus
+// ExtraEdges random additional deltas. Node costs dominate edge costs,
+// mirroring natural graphs.
+func Random(opt RandomOptions, rng *rand.Rand) *Graph {
+	if opt.Nodes <= 0 {
+		panic("graph: Random needs at least one node")
+	}
+	if opt.MaxNodeCost <= 0 {
+		opt.MaxNodeCost = 1000
+	}
+	if opt.MaxEdgeCost <= 0 {
+		opt.MaxEdgeCost = 100
+	}
+	g := New("random")
+	for i := 0; i < opt.Nodes; i++ {
+		g.AddNode(opt.MaxNodeCost/2 + Cost(rng.Int63n(int64(opt.MaxNodeCost/2+1))))
+	}
+	edgeCosts := func() (Cost, Cost) {
+		s := 1 + Cost(rng.Int63n(int64(opt.MaxEdgeCost)))
+		if opt.SingleWeight {
+			return s, s
+		}
+		return s, 1 + Cost(rng.Int63n(int64(opt.MaxEdgeCost)))
+	}
+	for v := 1; v < opt.Nodes; v++ {
+		u := NodeID(rng.Intn(v))
+		s, r := edgeCosts()
+		if opt.Bidirected {
+			g.AddBiEdge(u, NodeID(v), s, r)
+		} else {
+			g.AddEdge(u, NodeID(v), s, r)
+		}
+	}
+	for i := 0; i < opt.ExtraEdges; i++ {
+		u := NodeID(rng.Intn(opt.Nodes))
+		v := NodeID(rng.Intn(opt.Nodes))
+		if u == v {
+			continue
+		}
+		s, r := edgeCosts()
+		if opt.Bidirected {
+			g.AddBiEdge(u, v, s, r)
+		} else {
+			g.AddEdge(u, v, s, r)
+		}
+	}
+	return g
+}
+
+// RandomBiTree builds a random bidirectional tree (underlying undirected
+// graph is a tree; forward and reverse delta costs drawn independently),
+// the input class of DP-BMR and DP-MSR.
+func RandomBiTree(n int, maxNodeCost, maxEdgeCost Cost, rng *rand.Rand) *Graph {
+	g := New("random-bitree")
+	for i := 0; i < n; i++ {
+		g.AddNode(maxNodeCost/2 + Cost(rng.Int63n(int64(maxNodeCost/2+1))))
+	}
+	for v := 1; v < n; v++ {
+		u := NodeID(rng.Intn(v))
+		g.AddEdge(u, NodeID(v), 1+Cost(rng.Int63n(int64(maxEdgeCost))), 1+Cost(rng.Int63n(int64(maxEdgeCost))))
+		g.AddEdge(NodeID(v), u, 1+Cost(rng.Int63n(int64(maxEdgeCost))), 1+Cost(rng.Int63n(int64(maxEdgeCost))))
+	}
+	return g
+}

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation used by the cmd tools.
+type jsonGraph struct {
+	Name  string `json:"name"`
+	Nodes []Cost `json:"nodes"` // materialization cost per version
+	Edges []Edge `json:"edges"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonGraph{Name: g.Name, Nodes: g.nodeStorage, Edges: g.edges})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var j jsonGraph
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	n := New(j.Name)
+	for i, s := range j.Nodes {
+		if s < 0 {
+			return fmt.Errorf("graph: node %d has negative storage %d", i, s)
+		}
+		n.AddNode(s)
+	}
+	for i, e := range j.Edges {
+		if e.From < 0 || int(e.From) >= n.N() || e.To < 0 || int(e.To) >= n.N() ||
+			e.From == e.To || e.Storage < 0 || e.Retrieval < 0 {
+			return fmt.Errorf("graph: edge %d (%+v) is invalid", i, e)
+		}
+		n.AddEdge(e.From, e.To, e.Storage, e.Retrieval)
+	}
+	*g = *n
+	return nil
+}
+
+// Write serializes g as indented JSON.
+func (g *Graph) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(g)
+}
+
+// Read deserializes a graph from JSON.
+func Read(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

@@ -1,0 +1,114 @@
+package graph
+
+import "math/rand"
+
+// Compress applies the paper's "random compression" transform (Section
+// 7.1): every storage cost (node and edge) is scaled by an independent
+// uniform factor in [0.3, 1) to simulate compression, and every edge
+// retrieval cost is increased by 20% to simulate decompression overhead.
+// The result is a new graph whose storage and retrieval weights are no
+// longer proportional, exercising the two-weight-function setting.
+//
+// The transform is deterministic given rng.
+func Compress(g *Graph, rng *rand.Rand) *Graph {
+	c := g.Clone()
+	c.Name = g.Name + "-compressed"
+	scale := func(s Cost) Cost {
+		f := 0.3 + 0.7*rng.Float64()
+		v := Cost(float64(s) * f)
+		if s > 0 && v == 0 {
+			v = 1
+		}
+		return v
+	}
+	for v := NodeID(0); int(v) < c.N(); v++ {
+		c.SetNodeStorage(v, scale(c.NodeStorage(v)))
+	}
+	for id := EdgeID(0); int(id) < c.M(); id++ {
+		e := c.Edge(id)
+		r := e.Retrieval + (e.Retrieval+4)/5 // ×1.2 rounded up
+		c.SetEdgeCosts(id, scale(e.Storage), r)
+	}
+	return c
+}
+
+// ERDeltaCost models the cost of an "unnatural" delta between two
+// arbitrary versions u,v for the Erdős–Rényi construction.
+type ERDeltaCost func(u, v NodeID, rng *rand.Rand) (storage, retrieval Cost)
+
+// ERDeltas builds the paper's ER construction (Section 7.1): the node set
+// (and materialization costs) of g are kept, but instead of the natural
+// parent/child deltas, for every unordered pair {u,v} with probability p
+// both deltas (u,v) and (v,u) are constructed, and with probability 1-p
+// neither is. Costs come from cost; the paper observes unnatural deltas
+// are roughly 10× costlier than natural ones on LeetCode.
+//
+// p = 1 yields the complete bidirectional graph ("LeetCode (complete)").
+func ERDeltas(g *Graph, p float64, cost ERDeltaCost, rng *rand.Rand) *Graph {
+	out := New(g.Name)
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		out.AddNode(g.NodeStorage(v))
+	}
+	for u := NodeID(0); int(u) < g.N(); u++ {
+		for v := u + 1; int(v) < g.N(); v++ {
+			if p < 1 && rng.Float64() >= p {
+				continue
+			}
+			s1, r1 := cost(u, v, rng)
+			out.AddEdge(u, v, s1, r1)
+			s2, r2 := cost(v, u, rng)
+			out.AddEdge(v, u, s2, r2)
+		}
+	}
+	return out
+}
+
+// Bidirectional returns a bidirectional-tree version graph built from the
+// undirected skeleton of the given parent assignment: for every tree edge
+// {u,v} both deltas present in g between u and v are copied (cheapest in
+// each direction); a missing reverse delta is synthesized from the forward
+// one, matching the tree-extraction step of the DP heuristics (Section
+// 6.2, step 2).
+//
+// parent[v] = None marks the root(s); otherwise parent[v] is v's parent
+// node. The returned graph keeps g's node set and materialization costs.
+func Bidirectional(g *Graph, parent []NodeID) *Graph {
+	out := New(g.Name + "-bitree")
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		out.AddNode(g.NodeStorage(v))
+	}
+	best := func(u, v NodeID) (Edge, bool) {
+		found := false
+		var b Edge
+		for _, id := range g.Out(u) {
+			e := g.Edge(id)
+			if e.To != v {
+				continue
+			}
+			if !found || e.Storage+e.Retrieval < b.Storage+b.Retrieval {
+				b, found = e, true
+			}
+		}
+		return b, found
+	}
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		u := parent[v]
+		if u == None {
+			continue
+		}
+		fwd, fok := best(u, v)
+		rev, rok := best(v, u)
+		switch {
+		case fok && rok:
+		case fok:
+			rev = Edge{From: v, To: u, Storage: fwd.Storage, Retrieval: fwd.Retrieval}
+		case rok:
+			fwd = Edge{From: u, To: v, Storage: rev.Storage, Retrieval: rev.Retrieval}
+		default:
+			panic("graph: Bidirectional parent edge missing from graph")
+		}
+		out.AddEdge(u, v, fwd.Storage, fwd.Retrieval)
+		out.AddEdge(v, u, rev.Storage, rev.Retrieval)
+	}
+	return out
+}

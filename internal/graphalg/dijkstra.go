@@ -1,0 +1,95 @@
+// Package graphalg provides the classical graph algorithms every solver
+// in this repository builds on: Dijkstra shortest paths, the
+// Chu-Liu/Edmonds minimum spanning arborescence, topological orders,
+// rooted-tree utilities (subtree sizes, Euler intervals, path costs on
+// bidirectional trees) and reachability.
+package graphalg
+
+import (
+	"container/heap"
+
+	"repro/internal/graph"
+)
+
+// Weight selects an edge weight for a traversal.
+type Weight func(e graph.Edge) graph.Cost
+
+// RetrievalWeight weighs edges by retrieval cost r_e.
+func RetrievalWeight(e graph.Edge) graph.Cost { return e.Retrieval }
+
+// StorageWeight weighs edges by storage cost s_e.
+func StorageWeight(e graph.Edge) graph.Cost { return e.Storage }
+
+// SumWeight weighs edges by s_e + r_e, the weight used when extracting the
+// spanning tree for the DP heuristics (Section 6.2, step 1).
+func SumWeight(e graph.Edge) graph.Cost { return e.Storage + e.Retrieval }
+
+type pqItem struct {
+	node graph.NodeID
+	dist graph.Cost
+}
+
+type priorityQueue []pqItem
+
+func (q priorityQueue) Len() int            { return len(q) }
+func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single/multi-source shortest paths from sources over
+// the edges admitted by admit (nil admits all) weighted by w. It returns
+// the distance of every node (graph.Infinite when unreachable) and for
+// each reached non-source node the id of the final edge on a shortest
+// path (graph.None for sources and unreachable nodes).
+func Dijkstra(g *graph.Graph, sources []graph.NodeID, w Weight, admit func(id graph.EdgeID) bool) (dist []graph.Cost, parentEdge []int32) {
+	n := g.N()
+	dist = make([]graph.Cost, n)
+	parentEdge = make([]int32, n)
+	for i := range dist {
+		dist[i] = graph.Infinite
+		parentEdge[i] = graph.None
+	}
+	q := make(priorityQueue, 0, len(sources))
+	for _, s := range sources {
+		if dist[s] != 0 {
+			dist[s] = 0
+			q = append(q, pqItem{s, 0})
+		}
+	}
+	heap.Init(&q)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, id := range g.Out(it.node) {
+			if admit != nil && !admit(id) {
+				continue
+			}
+			e := g.Edge(id)
+			nd := it.dist + w(e)
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				parentEdge[e.To] = int32(id)
+				heap.Push(&q, pqItem{e.To, nd})
+			}
+		}
+	}
+	return dist, parentEdge
+}
+
+// ShortestPathTree returns the shortest-path arborescence rooted at root
+// with respect to w: parent[v] is the edge id used to reach v
+// (graph.None for root and unreachable nodes). This is Problem 2 of
+// Table 1 when run on the extended graph from v_aux with retrieval
+// weights.
+func ShortestPathTree(g *graph.Graph, root graph.NodeID, w Weight) (dist []graph.Cost, parentEdge []int32) {
+	return Dijkstra(g, []graph.NodeID{root}, w, nil)
+}

@@ -1,0 +1,187 @@
+package graphalg
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+)
+
+// ErrNoArborescence reports that no spanning arborescence rooted at the
+// requested root exists (some node is unreachable).
+var ErrNoArborescence = errors.New("graphalg: no spanning arborescence exists")
+
+// MinArborescence computes a minimum-weight spanning arborescence of g
+// rooted at root with respect to w, using the Chu-Liu/Edmonds algorithm
+// (O(V·E)). It returns, for every node, the id of its incoming tree edge
+// (graph.None for the root), together with the total weight.
+//
+// LMG and LMG-All initialize from this arborescence on the extended graph
+// with storage weights (Algorithms 1 and 7, "minimum arborescence of
+// G_aux rooted at v_aux w.r.t. weight function s").
+func MinArborescence(g *graph.Graph, root graph.NodeID, w Weight) (parentEdge []int32, total graph.Cost, err error) {
+	n := g.N()
+	type arbEdge struct {
+		u, v int
+		w    graph.Cost
+		id   int32 // original edge id
+	}
+	edges := make([]arbEdge, 0, g.M())
+	for id := 0; id < g.M(); id++ {
+		e := g.Edge(graph.EdgeID(id))
+		edges = append(edges, arbEdge{int(e.From), int(e.To), w(e), int32(id)})
+	}
+
+	var solve func(n, root int, edges []arbEdge) ([]int32, error)
+	solve = func(n, root int, edges []arbEdge) ([]int32, error) {
+		const none = -1
+		// 1. Cheapest incoming edge per node.
+		best := make([]int, n)
+		for i := range best {
+			best[i] = none
+		}
+		for i, e := range edges {
+			if e.v == root || e.u == e.v {
+				continue
+			}
+			if best[e.v] == none || e.w < edges[best[e.v]].w {
+				best[e.v] = i
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v != root && best[v] == none {
+				return nil, ErrNoArborescence
+			}
+		}
+		// 2. Detect cycles among the chosen edges.
+		cycleID := make([]int, n)
+		visitMark := make([]int, n)
+		for i := range cycleID {
+			cycleID[i] = none
+			visitMark[i] = none
+		}
+		cycles := 0
+		for v := 0; v < n; v++ {
+			u := v
+			for u != root && visitMark[u] == none && cycleID[u] == none {
+				visitMark[u] = v
+				u = edges[best[u]].u
+			}
+			if u != root && cycleID[u] == none && visitMark[u] == v {
+				// New cycle through u.
+				x := u
+				for {
+					cycleID[x] = cycles
+					x = edges[best[x]].u
+					if x == u {
+						break
+					}
+				}
+				cycles++
+			}
+		}
+		if cycles == 0 {
+			res := make([]int32, n)
+			for v := 0; v < n; v++ {
+				if v == root {
+					res[v] = graph.None
+				} else {
+					res[v] = edges[best[v]].id
+				}
+			}
+			return res, nil
+		}
+		// 3. Contract cycles. Nodes in cycle c map to new id c;
+		// remaining nodes get fresh ids.
+		newID := make([]int, n)
+		next := cycles
+		for v := 0; v < n; v++ {
+			if cycleID[v] != none {
+				newID[v] = cycleID[v]
+			} else {
+				newID[v] = next
+				next++
+			}
+		}
+		contracted := make([]arbEdge, 0, len(edges))
+		// For expansion we remember which original (sub)edge each
+		// contracted edge came from, via an index into edges.
+		fromIdx := make([]int, 0, len(edges))
+		for i, e := range edges {
+			nu, nv := newID[e.u], newID[e.v]
+			if nu == nv {
+				continue
+			}
+			we := e.w
+			if cycleID[e.v] != none {
+				we -= edges[best[e.v]].w
+			}
+			contracted = append(contracted, arbEdge{nu, nv, we, e.id})
+			fromIdx = append(fromIdx, i)
+		}
+		sub, err := solve(next, newID[root], contracted)
+		if err != nil {
+			return nil, err
+		}
+		// 4. Expand: map chosen contracted edges back; inside each
+		// cycle keep all best edges except the one entering at the
+		// node through which the cycle is entered.
+		res := make([]int32, n)
+		for i := range res {
+			res[i] = graph.None
+		}
+		entered := make([]int, cycles) // node of each cycle whose best edge is dropped
+		for i := range entered {
+			entered[i] = none
+		}
+		// sub[c] is an original edge id; we need the edge's endpoint v
+		// in the *current* level. Build a lookup from original id to
+		// current-level index of contracted edges chosen.
+		// Original edge ids are unique per level, since each current-level
+		// edge descends from a distinct original edge.
+		idToCur := make(map[int32]int, len(contracted))
+		for ci, i := range fromIdx {
+			idToCur[contracted[ci].id] = i
+		}
+		for c := 0; c < next; c++ {
+			se := sub[c]
+			if se == graph.None {
+				continue
+			}
+			i, ok := idToCur[se]
+			if !ok {
+				return nil, errors.New("graphalg: internal expansion error")
+			}
+			e := edges[i]
+			res[e.v] = e.id
+			if cycleID[e.v] != none {
+				entered[cycleID[e.v]] = e.v
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v == root || res[v] != graph.None {
+				continue
+			}
+			if cycleID[v] != none && entered[cycleID[v]] != v {
+				res[v] = edges[best[v]].id
+			}
+		}
+		// Any remaining unset node (shouldn't happen) is an error.
+		for v := 0; v < n; v++ {
+			if v != root && res[v] == graph.None {
+				return nil, errors.New("graphalg: internal expansion left node unattached")
+			}
+		}
+		return res, nil
+	}
+
+	parentEdge, err = solve(n, int(root), edges)
+	if err != nil {
+		return nil, 0, err
+	}
+	for v := 0; v < n; v++ {
+		if parentEdge[v] != graph.None {
+			total += w(g.Edge(graph.EdgeID(parentEdge[v])))
+		}
+	}
+	return parentEdge, total, nil
+}

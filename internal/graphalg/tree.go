@@ -1,0 +1,199 @@
+package graphalg
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+)
+
+// Tree is a rooted arborescence view over a graph, described by the id of
+// each node's incoming edge. It caches the derived structures the greedy
+// heuristics query on every iteration: children lists, preorder, subtree
+// sizes, Euler intervals (for O(1) descendant tests) and per-node
+// retrieval costs.
+type Tree struct {
+	G          *graph.Graph
+	Root       graph.NodeID
+	ParentEdge []int32 // incoming edge id per node; graph.None at root
+	Parent     []graph.NodeID
+	Children   [][]graph.NodeID
+	Order      []graph.NodeID // preorder (parents before children)
+	SubSize    []int          // nodes in subtree, including self
+	tin, tout  []int32
+	Retrieval  []graph.Cost // R(v): path retrieval cost from root
+}
+
+// NewTree builds a Tree from parent edges. It fails if the edges do not
+// form a spanning arborescence rooted at root.
+func NewTree(g *graph.Graph, root graph.NodeID, parentEdge []int32) (*Tree, error) {
+	n := g.N()
+	if len(parentEdge) != n {
+		return nil, errors.New("graphalg: parentEdge length mismatch")
+	}
+	t := &Tree{
+		G:          g,
+		Root:       root,
+		ParentEdge: append([]int32(nil), parentEdge...),
+		Parent:     make([]graph.NodeID, n),
+		Children:   make([][]graph.NodeID, n),
+		SubSize:    make([]int, n),
+		tin:        make([]int32, n),
+		tout:       make([]int32, n),
+		Retrieval:  make([]graph.Cost, n),
+	}
+	for v := 0; v < n; v++ {
+		if graph.NodeID(v) == root {
+			if parentEdge[v] != graph.None {
+				return nil, errors.New("graphalg: root has a parent edge")
+			}
+			t.Parent[v] = graph.None
+			continue
+		}
+		id := parentEdge[v]
+		if id == graph.None {
+			return nil, errors.New("graphalg: non-root node without parent edge")
+		}
+		e := g.Edge(graph.EdgeID(id))
+		if e.To != graph.NodeID(v) {
+			return nil, errors.New("graphalg: parent edge does not enter its node")
+		}
+		t.Parent[v] = e.From
+		t.Children[e.From] = append(t.Children[e.From], graph.NodeID(v))
+	}
+	if err := t.refresh(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// refresh recomputes preorder, Euler intervals, subtree sizes and
+// retrieval costs from the Parent/Children structure.
+func (t *Tree) refresh() error {
+	n := t.G.N()
+	t.Order = t.Order[:0]
+	var clock int32
+	visited := 0
+	// Iterative DFS computing preorder and tin.
+	type frame struct {
+		node graph.NodeID
+		next int
+	}
+	frames := []frame{{t.Root, 0}}
+	t.tin[t.Root] = clock
+	clock++
+	t.Order = append(t.Order, t.Root)
+	t.Retrieval[t.Root] = 0
+	visited++
+	for len(frames) > 0 {
+		f := &frames[len(frames)-1]
+		if f.next < len(t.Children[f.node]) {
+			c := t.Children[f.node][f.next]
+			f.next++
+			t.tin[c] = clock
+			clock++
+			t.Order = append(t.Order, c)
+			t.Retrieval[c] = t.Retrieval[f.node] + t.G.Edge(graph.EdgeID(t.ParentEdge[c])).Retrieval
+			visited++
+			frames = append(frames, frame{c, 0})
+			continue
+		}
+		t.tout[f.node] = clock
+		clock++
+		frames = frames[:len(frames)-1]
+	}
+	if visited != n {
+		return ErrNoArborescence
+	}
+	// Subtree sizes in reverse preorder.
+	for i := range t.SubSize {
+		t.SubSize[i] = 1
+	}
+	for i := len(t.Order) - 1; i > 0; i-- {
+		v := t.Order[i]
+		t.SubSize[t.Parent[v]] += t.SubSize[v]
+	}
+	return nil
+}
+
+// IsDescendant reports whether v is in the subtree rooted at u (v == u
+// counts).
+func (t *Tree) IsDescendant(u, v graph.NodeID) bool {
+	return t.tin[u] <= t.tin[v] && t.tout[v] <= t.tout[u]
+}
+
+// TotalRetrieval is Σ_v R(v).
+func (t *Tree) TotalRetrieval() graph.Cost {
+	var s graph.Cost
+	for _, r := range t.Retrieval {
+		s += r
+	}
+	return s
+}
+
+// MaxRetrieval is max_v R(v).
+func (t *Tree) MaxRetrieval() graph.Cost {
+	var m graph.Cost
+	for _, r := range t.Retrieval {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// StorageCost is the total storage of the tree edges (on an extended
+// graph this includes materialization costs via auxiliary edges).
+func (t *Tree) StorageCost() graph.Cost {
+	var s graph.Cost
+	for _, id := range t.ParentEdge {
+		if id != graph.None {
+			s += t.G.Edge(graph.EdgeID(id)).Storage
+		}
+	}
+	return s
+}
+
+// Reattach replaces v's incoming edge with edge id (which must enter v)
+// and refreshes all cached structures. The caller is responsible for not
+// creating a cycle (use IsDescendant to check that the new parent is not
+// a descendant of v).
+func (t *Tree) Reattach(v graph.NodeID, id graph.EdgeID) {
+	e := t.G.Edge(id)
+	if e.To != v {
+		panic("graphalg: Reattach edge does not enter node")
+	}
+	old := t.Parent[v]
+	cs := t.Children[old]
+	for i, c := range cs {
+		if c == v {
+			t.Children[old] = append(cs[:i], cs[i+1:]...)
+			break
+		}
+	}
+	t.Parent[v] = e.From
+	t.ParentEdge[v] = int32(id)
+	t.Children[e.From] = append(t.Children[e.From], v)
+	if err := t.refresh(); err != nil {
+		panic("graphalg: Reattach created a cycle: " + err.Error())
+	}
+}
+
+// Clone deep-copies the tree (sharing the underlying graph).
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		G:          t.G,
+		Root:       t.Root,
+		ParentEdge: append([]int32(nil), t.ParentEdge...),
+		Parent:     append([]graph.NodeID(nil), t.Parent...),
+		Children:   make([][]graph.NodeID, len(t.Children)),
+		Order:      append([]graph.NodeID(nil), t.Order...),
+		SubSize:    append([]int(nil), t.SubSize...),
+		tin:        append([]int32(nil), t.tin...),
+		tout:       append([]int32(nil), t.tout...),
+		Retrieval:  append([]graph.Cost(nil), t.Retrieval...),
+	}
+	for i := range t.Children {
+		c.Children[i] = append([]graph.NodeID(nil), t.Children[i]...)
+	}
+	return c
+}

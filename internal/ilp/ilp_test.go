@@ -1,0 +1,128 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/graph"
+)
+
+func TestSimplexTextbook(t *testing.T) {
+	// max 3a+5b s.t. a≤4, 2b≤12, 3a+2b≤18 → a=2,b=6, obj 36.
+	l := NewLP(2)
+	l.C[0], l.C[1] = -3, -5
+	l.AddRow(map[int]float64{0: 1}, LE, 4)
+	l.AddRow(map[int]float64{1: 2}, LE, 12)
+	l.AddRow(map[int]float64{0: 3, 1: 2}, LE, 18)
+	x, obj, st := l.Solve()
+	if st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	if math.Abs(x[0]-2) > 1e-6 || math.Abs(x[1]-6) > 1e-6 || math.Abs(obj+36) > 1e-6 {
+		t.Fatalf("x=%v obj=%f", x, obj)
+	}
+}
+
+func TestSimplexEqualityAndGE(t *testing.T) {
+	// min x+y s.t. x+y = 10, x ≥ 3 → obj 10.
+	l := NewLP(2)
+	l.C[0], l.C[1] = 1, 1
+	l.AddRow(map[int]float64{0: 1, 1: 1}, EQ, 10)
+	l.AddRow(map[int]float64{0: 1}, GE, 3)
+	x, obj, st := l.Solve()
+	if st != Optimal || math.Abs(obj-10) > 1e-6 || x[0] < 3-1e-6 {
+		t.Fatalf("x=%v obj=%f st=%v", x, obj, st)
+	}
+}
+
+func TestSimplexInfeasibleAndUnbounded(t *testing.T) {
+	l := NewLP(1)
+	l.C[0] = 1
+	l.AddRow(map[int]float64{0: 1}, LE, 1)
+	l.AddRow(map[int]float64{0: 1}, GE, 2)
+	if _, _, st := l.Solve(); st != Infeasible {
+		t.Fatalf("status %v, want Infeasible", st)
+	}
+	u := NewLP(1)
+	u.C[0] = -1 // maximize x with no upper bound
+	u.AddRow(map[int]float64{0: 1}, GE, 0)
+	if _, _, st := u.Solve(); st != Unbounded {
+		t.Fatalf("status %v, want Unbounded", st)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// min x s.t. -x ≤ -5 (i.e. x ≥ 5).
+	l := NewLP(1)
+	l.C[0] = 1
+	l.AddRow(map[int]float64{0: -1}, LE, -5)
+	x, obj, st := l.Solve()
+	if st != Optimal || math.Abs(obj-5) > 1e-6 || math.Abs(x[0]-5) > 1e-6 {
+		t.Fatalf("x=%v obj=%f st=%v", x, obj, st)
+	}
+}
+
+func TestILPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for it := 0; it < 20; it++ {
+		g := graph.Random(graph.RandomOptions{
+			Nodes:      2 + rng.Intn(4),
+			ExtraEdges: rng.Intn(5),
+			Bidirected: it%2 == 0,
+		}, rng)
+		total := g.TotalNodeStorage()
+		for _, s := range []graph.Cost{total / 2, total} {
+			want, errBF := bruteforce.SolveMSR(g, s, 0)
+			got, errILP := SolveMSR(g, s, Options{})
+			if errBF != nil {
+				if errILP == nil {
+					t.Fatalf("it %d: ILP found solution on infeasible instance", it)
+				}
+				continue
+			}
+			if errILP != nil {
+				t.Fatalf("it %d s=%d: %v", it, s, errILP)
+			}
+			if !got.Proven {
+				t.Fatalf("it %d: optimality not proven", it)
+			}
+			if got.Cost.SumRetrieval != want.Cost.SumRetrieval {
+				t.Fatalf("it %d s=%d: ILP %d, brute force %d", it, s, got.Cost.SumRetrieval, want.Cost.SumRetrieval)
+			}
+			if got.Cost.Storage > s {
+				t.Fatalf("it %d: budget violated", it)
+			}
+		}
+	}
+}
+
+func TestILPFigure1(t *testing.T) {
+	g := graph.Figure1()
+	res, err := SolveMSR(g, 20150, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bruteforce.SolveMSR(g, 20150, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.SumRetrieval != want.Cost.SumRetrieval {
+		t.Fatalf("ILP %d, brute force %d", res.Cost.SumRetrieval, want.Cost.SumRetrieval)
+	}
+}
+
+func TestILPInfeasible(t *testing.T) {
+	g := graph.Figure1()
+	if _, err := SolveMSR(g, 1, Options{}); err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+}
+
+func TestILPEmptyGraph(t *testing.T) {
+	res, err := SolveMSR(graph.New("empty"), 0, Options{})
+	if err != nil || !res.Proven {
+		t.Fatalf("empty graph: %+v %v", res, err)
+	}
+}

@@ -1,0 +1,90 @@
+package mp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/graph"
+)
+
+func TestMPZeroConstraintMaterializesAll(t *testing.T) {
+	g := graph.Figure1()
+	res, err := Solve(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Storage != g.TotalNodeStorage() || res.Cost.MaxRetrieval != 0 {
+		t.Fatalf("cost %+v", res.Cost)
+	}
+	for v, m := range res.Plan.Materialized {
+		if !m {
+			t.Fatalf("node %d not materialized under R=0", v)
+		}
+	}
+}
+
+func TestMPFeasibleAndAboveOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for it := 0; it < 60; it++ {
+		g := graph.Random(graph.RandomOptions{
+			Nodes:      2 + rng.Intn(6),
+			ExtraEdges: rng.Intn(8),
+			Bidirected: true,
+		}, rng)
+		maxR := g.MaxEdgeRetrieval() * graph.Cost(g.N())
+		for _, r := range []graph.Cost{0, maxR / 4, maxR / 2, maxR} {
+			res, err := Solve(g, r)
+			if err != nil {
+				t.Fatalf("it %d: %v", it, err)
+			}
+			if !res.Cost.Feasible {
+				t.Fatalf("it %d: infeasible", it)
+			}
+			if res.Cost.MaxRetrieval > r {
+				t.Fatalf("it %d: max retrieval %d > constraint %d", it, res.Cost.MaxRetrieval, r)
+			}
+			opt, err := bruteforce.SolveBMR(g, r, 0)
+			if err != nil {
+				t.Fatalf("it %d: %v", it, err)
+			}
+			if res.Cost.Storage < opt.Cost.Storage {
+				t.Fatalf("it %d: MP storage %d beats optimum %d (impossible)",
+					it, res.Cost.Storage, opt.Cost.Storage)
+			}
+		}
+	}
+}
+
+func TestMPUnboundedConstraintIsMinStorageQuality(t *testing.T) {
+	// With an effectively unbounded retrieval constraint MP is plain
+	// Prim's on storage weights. Prim on a digraph is still a heuristic,
+	// but it must stay within the trivial materialize-everything bound.
+	g := graph.Figure1()
+	res, err := Solve(g, graph.Infinite/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Storage > g.TotalNodeStorage() {
+		t.Fatalf("storage %d above materialize-all", res.Cost.Storage)
+	}
+}
+
+func TestMPSingleNodeAndEmpty(t *testing.T) {
+	one := graph.NewWithNodes("one", 1, 9)
+	res, err := Solve(one, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Storage != 9 {
+		t.Fatalf("single-node storage %d", res.Cost.Storage)
+	}
+	empty := graph.New("empty")
+	res, err = Solve(empty, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Storage != 0 {
+		t.Fatalf("empty storage %d", res.Cost.Storage)
+	}
+}

@@ -1,0 +1,117 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// randomPlan stores each delta and materializes each version with
+// probability p, always materializing version 0 so at least one source
+// exists.
+func randomPlan(g *graph.Graph, p float64, rng *rand.Rand) *Plan {
+	pl := New(g)
+	for v := range pl.Materialized {
+		pl.Materialized[v] = rng.Float64() < p
+	}
+	if g.N() > 0 {
+		pl.Materialized[0] = true
+	}
+	for e := range pl.Stored {
+		pl.Stored[e] = rng.Float64() < p
+	}
+	return pl
+}
+
+// TestQuickStoringMoreNeverHurtsRetrieval checks the core monotonicity of
+// the model: adding a stored delta (or a materialization) to a plan can
+// only lower retrieval costs, and only raise storage.
+func TestQuickStoringMoreNeverHurtsRetrieval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		g := graph.Random(graph.RandomOptions{
+			Nodes:      1 + rng.Intn(10),
+			ExtraEdges: rng.Intn(12),
+			Bidirected: true,
+		}, rng)
+		base := randomPlan(g, 0.4, rng)
+		grown := base.Clone()
+		// Grow the plan by a random addition.
+		if rng.Intn(2) == 0 && g.M() > 0 {
+			grown.Stored[rng.Intn(g.M())] = true
+		} else {
+			grown.Materialized[rng.Intn(g.N())] = true
+		}
+		rBase := base.Retrievals(g)
+		rGrown := grown.Retrievals(g)
+		for v := range rBase {
+			if rGrown[v] > rBase[v] {
+				return false
+			}
+		}
+		return grown.StorageCost(g) >= base.StorageCost(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEvaluateConsistency checks that Evaluate's aggregates always
+// agree with the raw retrieval vector.
+func TestQuickEvaluateConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func() bool {
+		g := graph.Random(graph.RandomOptions{
+			Nodes:      1 + rng.Intn(10),
+			ExtraEdges: rng.Intn(12),
+			Bidirected: rng.Intn(2) == 0,
+		}, rng)
+		p := randomPlan(g, 0.5, rng)
+		c := Evaluate(g, p)
+		r := p.Retrievals(g)
+		var sum, max graph.Cost
+		feasible := true
+		for _, x := range r {
+			if x >= graph.Infinite {
+				feasible = false
+				break
+			}
+			sum += x
+			if x > max {
+				max = x
+			}
+		}
+		if feasible != c.Feasible {
+			return false
+		}
+		if !feasible {
+			return c.SumRetrieval == graph.Infinite && c.MaxRetrieval == graph.Infinite
+		}
+		return c.SumRetrieval == sum && c.MaxRetrieval == max && c.Storage == p.StorageCost(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMaterializedAlwaysZero checks R(v) = 0 ⟺ reachable at zero
+// cost; in particular materialized versions always retrieve for free.
+func TestQuickMaterializedAlwaysZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func() bool {
+		g := graph.Random(graph.RandomOptions{Nodes: 1 + rng.Intn(8), ExtraEdges: rng.Intn(8)}, rng)
+		p := randomPlan(g, 0.6, rng)
+		r := p.Retrievals(g)
+		for v, m := range p.Materialized {
+			if m && r[v] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package reductions
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/graphalg"
+	"repro/internal/plan"
+)
+
+// ImproveBMRPlan applies the Lemma 4 improvement procedure: given a
+// feasible plan for BMR with max-retrieval constraint 1 on the reduction
+// graph, it produces a plan of equal or smaller storage in which only set
+// versions are materialized (so the materialized sets form a cover). The
+// three cases of the lemma are applied until no element version remains
+// materialized.
+func (r SetCoverGraph) ImproveBMRPlan(p *plan.Plan) (*plan.Plan, error) {
+	m := len(r.Instance.Sets)
+	out := p.Clone()
+	// Edge lookup (u,v) → edge id.
+	type pair struct{ u, v graph.NodeID }
+	edgeOf := make(map[pair]graph.EdgeID, r.G.M())
+	for id := graph.EdgeID(0); int(id) < r.G.M(); id++ {
+		e := r.G.Edge(id)
+		k := pair{e.From, e.To}
+		if _, ok := edgeOf[k]; !ok {
+			edgeOf[k] = id
+		}
+	}
+	setsOf := func(j int) []graph.NodeID { // sets covering element j
+		var out []graph.NodeID
+		for i, s := range r.Instance.Sets {
+			for _, o := range s {
+				if o == j {
+					out = append(out, r.SetNode(i))
+				}
+			}
+		}
+		return out
+	}
+
+	for guard := 0; ; guard++ {
+		if guard > r.G.N()+1 {
+			return nil, errors.New("reductions: improvement did not converge")
+		}
+		// Retrieval parents under the current plan.
+		dist, parents := graphalg.Dijkstra(r.G, out.MaterializedNodes(), graphalg.RetrievalWeight,
+			func(id graph.EdgeID) bool { return out.Stored[id] })
+		for v, d := range dist {
+			if d > 1 {
+				return nil, fmt.Errorf("reductions: plan violates R=1 at version %d", v)
+			}
+		}
+		// Find a materialized element.
+		bj := graph.NodeID(graph.None)
+		var elem int
+		for j := 0; j < r.Instance.NumElements; j++ {
+			if out.Materialized[r.ElementNode(j)] {
+				bj = r.ElementNode(j)
+				elem = j
+				break
+			}
+		}
+		if bj == graph.NodeID(graph.None) {
+			break
+		}
+		// Dependents of bj: versions retrieved through it (unit depth,
+		// so exactly the nodes whose parent edge leaves bj).
+		var deps []graph.NodeID
+		for v := 0; v < r.G.N(); v++ {
+			if parents[v] != graph.None && r.G.Edge(graph.EdgeID(parents[v])).From == bj {
+				deps = append(deps, graph.NodeID(v))
+			}
+		}
+		adjacentSets := setsOf(elem)
+		var matAi = graph.NodeID(graph.None)
+		for _, ai := range adjacentSets {
+			if out.Materialized[ai] {
+				matAi = ai
+				break
+			}
+		}
+		switch {
+		case len(deps) > 0:
+			// Case 1: some set a_i retrieves through b_j. Swap roles.
+			ai := deps[0]
+			if int(ai) >= m {
+				return nil, errors.New("reductions: element depends on element (malformed plan)")
+			}
+			out.Materialized[ai] = true
+			out.Materialized[bj] = false
+			out.Stored[edgeOf[pair{ai, bj}]] = true
+			for _, ak := range deps {
+				out.Stored[parents[ak]] = false
+				if ak != ai {
+					out.Stored[edgeOf[pair{ai, ak}]] = true
+				}
+			}
+		case matAi != graph.NodeID(graph.None):
+			// Case 2: an adjacent set is already materialized; retrieve
+			// b_j through it instead.
+			out.Materialized[bj] = false
+			out.Stored[edgeOf[pair{matAi, bj}]] = true
+		default:
+			// Case 3: materialize an adjacent set, dropping the delta it
+			// was retrieved through.
+			if len(adjacentSets) == 0 {
+				return nil, errors.New("reductions: element with no covering set")
+			}
+			ai := adjacentSets[0]
+			if parents[ai] == graph.None {
+				return nil, errors.New("reductions: non-materialized set without parent")
+			}
+			out.Stored[parents[ai]] = false
+			out.Materialized[ai] = true
+			out.Materialized[bj] = false
+			out.Stored[edgeOf[pair{ai, bj}]] = true
+		}
+	}
+	// Final check: feasible, within constraint, storage not increased.
+	c := plan.Evaluate(r.G, out)
+	if !c.Feasible || c.MaxRetrieval > 1 {
+		return nil, errors.New("reductions: improved plan infeasible")
+	}
+	if c.Storage > p.StorageCost(r.G) {
+		return nil, fmt.Errorf("reductions: improvement raised storage %d → %d", p.StorageCost(r.G), c.Storage)
+	}
+	return out, nil
+}

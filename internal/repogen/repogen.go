@@ -1,0 +1,248 @@
+// Package repogen generates the version graphs the paper's evaluation
+// (Section 7.1, Table 4) is run on. The paper derives them from six
+// GitHub repositories; offline we synthesize commit histories with the
+// same topology statistics (node/edge counts, branch/merge structure) and
+// cost magnitudes (average materialization and delta costs), which is all
+// the solvers observe. Two generators are provided:
+//
+//   - Generate: a calibrated statistical model scaling to the largest
+//     dataset (freeCodeCamp, 31k versions);
+//   - GenerateRepo: a file-content model for smaller graphs that stores
+//     actual line contents per version and weighs every delta by a real
+//     Myers diff, enabling end-to-end checkout validation.
+package repogen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/diff"
+	"repro/internal/graph"
+	"repro/internal/graphalg"
+	"repro/internal/plan"
+)
+
+// Spec parameterizes the statistical generator.
+type Spec struct {
+	Name         string
+	Commits      int
+	ExtraBiEdges int        // merge/cross deltas beyond the commit tree (bidirectional pairs)
+	AvgNodeCost  graph.Cost // target average materialization cost s_v
+	AvgDeltaCost graph.Cost // target average delta cost s_e (= r_e: natural graphs are single-weight)
+	BranchProb   float64    // probability a commit forks off a non-head ancestor
+	Seed         int64
+}
+
+// Generate builds a natural version graph per spec: a commit tree with
+// bidirectional parent/child deltas plus ExtraBiEdges bidirectional merge
+// deltas, all costs jittered around the calibrated averages.
+func Generate(spec Spec) *graph.Graph {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := graph.New(spec.Name)
+	if spec.Commits <= 0 {
+		return g
+	}
+	nodeCost := func() graph.Cost {
+		return jitter(rng, spec.AvgNodeCost, 0.3)
+	}
+	// Merge deltas join diverged branches and are several times larger
+	// than ordinary parent/child deltas; the base cost is solved so the
+	// overall average still matches the Table 4 calibration.
+	const mergeFactor = 5
+	natural := spec.Commits - 1
+	base := spec.AvgDeltaCost
+	if natural+spec.ExtraBiEdges > 0 {
+		base = spec.AvgDeltaCost * graph.Cost(natural+spec.ExtraBiEdges) /
+			graph.Cost(natural+mergeFactor*spec.ExtraBiEdges)
+	}
+	if base < 1 {
+		base = 1
+	}
+	deltaCost := func() graph.Cost {
+		return jitter(rng, base, 0.5)
+	}
+	mergeCost := func() graph.Cost {
+		return jitter(rng, mergeFactor*base, 0.5)
+	}
+	g.AddNode(nodeCost())
+	// Branches fork off recent commits and merges reconnect commits that
+	// are close in history, which is what keeps real version graphs
+	// tree-like with low treewidth (footnote 7 of the paper).
+	const branchWindow, mergeWindow = 20, 8
+	for i := 1; i < spec.Commits; i++ {
+		parent := graph.NodeID(i - 1)
+		if rng.Float64() < spec.BranchProb {
+			w := branchWindow
+			if i < w {
+				w = i
+			}
+			parent = graph.NodeID(i - 1 - rng.Intn(w))
+		}
+		g.AddNode(nodeCost())
+		c := deltaCost()
+		g.AddBiEdge(parent, graph.NodeID(i), c, c)
+	}
+	for e := 0; e < spec.ExtraBiEdges; e++ {
+		u := 1 + rng.Intn(spec.Commits-1)
+		w := mergeWindow
+		if u < w {
+			w = u
+		}
+		v := u - 1 - rng.Intn(w)
+		if u == v {
+			continue
+		}
+		c := mergeCost()
+		g.AddBiEdge(graph.NodeID(u), graph.NodeID(v), c, c)
+	}
+	return g
+}
+
+// jitter samples around avg with relative spread, at least 1.
+func jitter(rng *rand.Rand, avg graph.Cost, spread float64) graph.Cost {
+	f := 1 + spread*(2*rng.Float64()-1)
+	v := graph.Cost(float64(avg) * f)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Table 4 presets. Node/edge counts and average costs match the paper's
+// dataset overview; the seed pins each instance.
+var table4 = []Spec{
+	{Name: "datasharing", Commits: 29, ExtraBiEdges: 9, AvgNodeCost: 7672, AvgDeltaCost: 395, BranchProb: 0.15, Seed: 1001},
+	{Name: "styleguide", Commits: 493, ExtraBiEdges: 133, AvgNodeCost: 1_400_000, AvgDeltaCost: 8659, BranchProb: 0.2, Seed: 1002},
+	{Name: "996.ICU", Commits: 3189, ExtraBiEdges: 1417, AvgNodeCost: 15_000_000, AvgDeltaCost: 337_038, BranchProb: 0.25, Seed: 1003},
+	{Name: "LeetCodeAnimation", Commits: 246, ExtraBiEdges: 69, AvgNodeCost: 170_000_000, AvgDeltaCost: 12_000_000, BranchProb: 0.2, Seed: 1004},
+	{Name: "freeCodeCamp", Commits: 31270, ExtraBiEdges: 4498, AvgNodeCost: 25_000_000, AvgDeltaCost: 14800, BranchProb: 0.18, Seed: 1005},
+}
+
+// Table4Specs returns the dataset presets of Table 4 (excluding the
+// LeetCode ER variants, see LeetCodeER).
+func Table4Specs() []Spec {
+	return append([]Spec(nil), table4...)
+}
+
+// Dataset generates a Table 4 dataset by name.
+func Dataset(name string) (*graph.Graph, error) {
+	for _, s := range table4 {
+		if s.Name == name {
+			return Generate(s), nil
+		}
+	}
+	return nil, fmt.Errorf("repogen: unknown dataset %q", name)
+}
+
+// LeetCodeER builds the paper's Erdős–Rényi construction over the
+// LeetCode node set (246 versions, avg s_v 1.7·10⁸): every unordered
+// pair receives both deltas with probability p, at the unnatural-delta
+// cost scale of 1.0·10⁸ ("the average unnatural delta is 10 times more
+// costly than a natural delta", footnote 19). p = 1 is "LeetCode
+// (complete)".
+func LeetCodeER(p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	base := graph.New(fmt.Sprintf("LeetCode (%g)", p))
+	for i := 0; i < 246; i++ {
+		base.AddNode(jitter(rng, 170_000_000, 0.3))
+	}
+	cost := func(u, v graph.NodeID, rng *rand.Rand) (graph.Cost, graph.Cost) {
+		c := jitter(rng, 100_000_000, 0.5)
+		return c, c
+	}
+	g := graph.ERDeltas(base, p, cost, rng)
+	g.Name = base.Name
+	return g
+}
+
+// Repo is a generated repository with full version contents, real diffs
+// on every delta, and checkout support.
+type Repo struct {
+	Graph    *graph.Graph
+	Contents [][]string   // lines per version
+	Deltas   []diff.Delta // per edge id
+}
+
+// GenerateRepo builds a content-backed repository: commit 0 starts with
+// ~40 lines; every later commit edits a handful of lines of its parent
+// (insertions, deletions, modifications), occasionally branching. Node
+// costs are content byte sizes; each delta's storage and retrieval cost
+// is the byte size of the real Myers edit script.
+func GenerateRepo(name string, commits int, seed int64) *Repo {
+	rng := rand.New(rand.NewSource(seed))
+	r := &Repo{Graph: graph.New(name)}
+	if commits <= 0 {
+		return r
+	}
+	line := func() string {
+		return fmt.Sprintf("line-%08x-%08x", rng.Int63n(1<<31), rng.Int63n(1<<31))
+	}
+	base := make([]string, 40)
+	for i := range base {
+		base[i] = line()
+	}
+	r.Contents = append(r.Contents, base)
+	r.Graph.AddNode(diff.ByteSize(base))
+	for i := 1; i < commits; i++ {
+		parent := graph.NodeID(i - 1)
+		if rng.Float64() < 0.2 {
+			parent = graph.NodeID(rng.Intn(i))
+		}
+		content := append([]string(nil), r.Contents[parent]...)
+		edits := 1 + rng.Intn(5)
+		for e := 0; e < edits; e++ {
+			switch op := rng.Intn(3); {
+			case op == 0 || len(content) == 0: // insert
+				at := rng.Intn(len(content) + 1)
+				content = append(content[:at], append([]string{line()}, content[at:]...)...)
+			case op == 1: // delete
+				at := rng.Intn(len(content))
+				content = append(content[:at], content[at+1:]...)
+			default: // modify
+				content[rng.Intn(len(content))] = line()
+			}
+		}
+		r.Contents = append(r.Contents, content)
+		r.Graph.AddNode(diff.ByteSize(content))
+		fwd := diff.Compute(r.Contents[parent], content)
+		rev := diff.Compute(content, r.Contents[parent])
+		r.Graph.AddEdge(parent, graph.NodeID(i), fwd.StorageCost(), fwd.StorageCost())
+		r.Deltas = append(r.Deltas, fwd)
+		r.Graph.AddEdge(graph.NodeID(i), parent, rev.StorageCost(), rev.StorageCost())
+		r.Deltas = append(r.Deltas, rev)
+	}
+	return r
+}
+
+// Checkout reconstructs version v under storage plan p: it finds the
+// cheapest stored retrieval path from a materialized version and applies
+// the path's deltas in order — the retrieval process the paper's
+// R(v) models.
+func (r *Repo) Checkout(p *plan.Plan, v graph.NodeID) ([]string, error) {
+	if p.Materialized[v] {
+		return r.Contents[v], nil
+	}
+	dist, parents := graphalg.Dijkstra(r.Graph, p.MaterializedNodes(), graphalg.RetrievalWeight,
+		func(id graph.EdgeID) bool { return p.Stored[id] })
+	if dist[v] >= graph.Infinite {
+		return nil, fmt.Errorf("repogen: version %d not retrievable under plan", v)
+	}
+	// Collect the edge path source → v.
+	var path []graph.EdgeID
+	for x := v; parents[x] != graph.None; x = r.Graph.Edge(graph.EdgeID(parents[x])).From {
+		path = append(path, graph.EdgeID(parents[x]))
+	}
+	src := v
+	if len(path) > 0 {
+		src = r.Graph.Edge(path[len(path)-1]).From
+	}
+	content := r.Contents[src]
+	for i := len(path) - 1; i >= 0; i-- {
+		var err error
+		content, err = r.Deltas[path[i]].Apply(content)
+		if err != nil {
+			return nil, fmt.Errorf("repogen: applying delta %d: %w", path[i], err)
+		}
+	}
+	return content, nil
+}

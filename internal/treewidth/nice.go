@@ -1,0 +1,253 @@
+package treewidth
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// NiceKind labels a node of a nice tree decomposition.
+type NiceKind int
+
+// Nice-decomposition node kinds (Definition 12).
+const (
+	NiceLeaf NiceKind = iota
+	NiceIntroduce
+	NiceForget
+	NiceJoin
+)
+
+// String implements fmt.Stringer.
+func (k NiceKind) String() string {
+	switch k {
+	case NiceLeaf:
+		return "leaf"
+	case NiceIntroduce:
+		return "introduce"
+	case NiceForget:
+		return "forget"
+	case NiceJoin:
+		return "join"
+	default:
+		return fmt.Sprintf("NiceKind(%d)", int(k))
+	}
+}
+
+// NiceNode is one node of a nice tree decomposition.
+type NiceNode struct {
+	Kind     NiceKind
+	Bag      []graph.NodeID // sorted
+	Children []int
+	// Vertex is the vertex introduced (NiceIntroduce) or forgotten
+	// (NiceForget); unused otherwise.
+	Vertex graph.NodeID
+}
+
+// NiceDecomposition is a rooted nice tree decomposition.
+type NiceDecomposition struct {
+	Nodes []NiceNode
+	Root  int
+}
+
+// MakeNice converts a tree decomposition into a nice one of the same
+// width with O(k·|bags|) nodes.
+func MakeNice(d *Decomposition) *NiceDecomposition {
+	nd := &NiceDecomposition{}
+	add := func(n NiceNode) int {
+		nd.Nodes = append(nd.Nodes, n)
+		return len(nd.Nodes) - 1
+	}
+	// chainTo builds forget/introduce nodes converting the bag of child
+	// node ci (bag from) into bag to, returning the top node index.
+	chainTo := func(ci int, from, to []graph.NodeID) int {
+		cur := ci
+		bag := append([]graph.NodeID(nil), from...)
+		inTo := map[graph.NodeID]bool{}
+		for _, v := range to {
+			inTo[v] = true
+		}
+		for _, v := range from {
+			if !inTo[v] {
+				bag = remove(bag, v)
+				cur = add(NiceNode{Kind: NiceForget, Bag: append([]graph.NodeID(nil), bag...), Children: []int{cur}, Vertex: v})
+			}
+		}
+		inBag := map[graph.NodeID]bool{}
+		for _, v := range bag {
+			inBag[v] = true
+		}
+		for _, v := range to {
+			if !inBag[v] {
+				bag = insert(bag, v)
+				cur = add(NiceNode{Kind: NiceIntroduce, Bag: append([]graph.NodeID(nil), bag...), Children: []int{cur}, Vertex: v})
+			}
+		}
+		return cur
+	}
+	// leafChain builds a leaf plus introduces for bag.
+	leafChain := func(bag []graph.NodeID) int {
+		if len(bag) == 0 {
+			return add(NiceNode{Kind: NiceLeaf, Bag: nil})
+		}
+		cur := add(NiceNode{Kind: NiceLeaf, Bag: []graph.NodeID{bag[0]}})
+		acc := []graph.NodeID{bag[0]}
+		for _, v := range bag[1:] {
+			acc = insert(acc, v)
+			cur = add(NiceNode{Kind: NiceIntroduce, Bag: append([]graph.NodeID(nil), acc...), Children: []int{cur}, Vertex: v})
+		}
+		return cur
+	}
+
+	var build func(b, parent int) int
+	build = func(b, parent int) int {
+		bag := append([]graph.NodeID(nil), d.Bags[b]...)
+		sort.Slice(bag, func(i, j int) bool { return bag[i] < bag[j] })
+		var childTops []int
+		for _, c := range d.Adj[b] {
+			if c == parent {
+				continue
+			}
+			ct := build(c, b)
+			cBag := nd.Nodes[ct].Bag
+			childTops = append(childTops, chainTo(ct, cBag, bag))
+		}
+		switch len(childTops) {
+		case 0:
+			return leafChain(bag)
+		case 1:
+			return childTops[0]
+		default:
+			cur := childTops[0]
+			for _, next := range childTops[1:] {
+				cur = add(NiceNode{Kind: NiceJoin, Bag: append([]graph.NodeID(nil), bag...), Children: []int{cur, next}})
+			}
+			return cur
+		}
+	}
+	top := build(0, -1)
+	// Forget everything above the top bag so the root has an empty bag;
+	// this gives DPs a single final state.
+	topBag := append([]graph.NodeID(nil), nd.Nodes[top].Bag...)
+	nd.Root = chainTo(top, topBag, nil)
+	return nd
+}
+
+func remove(bag []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	out := bag[:0]
+	for _, w := range bag {
+		if w != v {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func insert(bag []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	bag = append(bag, v)
+	sort.Slice(bag, func(i, j int) bool { return bag[i] < bag[j] })
+	return bag
+}
+
+// Width is max |bag| − 1 over the nice decomposition.
+func (nd *NiceDecomposition) Width() int {
+	w := 0
+	for _, n := range nd.Nodes {
+		if len(n.Bag) > w {
+			w = len(n.Bag)
+		}
+	}
+	return w - 1
+}
+
+// Validate checks Definition 12 node-shape constraints and that the node
+// set forms a tree rooted at Root.
+func (nd *NiceDecomposition) Validate() error {
+	seen := make([]bool, len(nd.Nodes))
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i < 0 || i >= len(nd.Nodes) {
+			return fmt.Errorf("treewidth: nice node index %d out of range", i)
+		}
+		if seen[i] {
+			return errors.New("treewidth: nice decomposition has a cycle")
+		}
+		seen[i] = true
+		n := nd.Nodes[i]
+		for j := 1; j < len(n.Bag); j++ {
+			if n.Bag[j-1] >= n.Bag[j] {
+				return fmt.Errorf("treewidth: bag of node %d not sorted/unique", i)
+			}
+		}
+		switch n.Kind {
+		case NiceLeaf:
+			if len(n.Children) != 0 || len(n.Bag) > 1 {
+				return fmt.Errorf("treewidth: malformed leaf %d", i)
+			}
+		case NiceIntroduce, NiceForget:
+			if len(n.Children) != 1 {
+				return fmt.Errorf("treewidth: %v node %d needs one child", n.Kind, i)
+			}
+			c := nd.Nodes[n.Children[0]]
+			want := len(c.Bag) + 1
+			if n.Kind == NiceForget {
+				want = len(c.Bag) - 1
+			}
+			if len(n.Bag) != want {
+				return fmt.Errorf("treewidth: %v node %d bag size %d, child %d", n.Kind, i, len(n.Bag), len(c.Bag))
+			}
+			if n.Kind == NiceIntroduce && !contains(n.Bag, n.Vertex) {
+				return fmt.Errorf("treewidth: introduce node %d missing vertex", i)
+			}
+			if n.Kind == NiceForget && contains(n.Bag, n.Vertex) {
+				return fmt.Errorf("treewidth: forget node %d still holds vertex", i)
+			}
+		case NiceJoin:
+			if len(n.Children) != 2 {
+				return fmt.Errorf("treewidth: join node %d needs two children", i)
+			}
+			for _, c := range n.Children {
+				if !equalBags(n.Bag, nd.Nodes[c].Bag) {
+					return fmt.Errorf("treewidth: join node %d bag differs from child", i)
+				}
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(nd.Root); err != nil {
+		return err
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("treewidth: nice node %d unreachable from root", i)
+		}
+	}
+	return nil
+}
+
+func contains(bag []graph.NodeID, v graph.NodeID) bool {
+	for _, w := range bag {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+func equalBags(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,213 @@
+// Package versioning is the public API of the dataset-versioning library:
+// a Go implementation of "To Store or Not to Store: a graph theoretical
+// approach for Dataset Versioning" (Guo, Li, Sukprasert, Khuller,
+// Deshpande, Mukherjee — IPPS 2024, arXiv:2402.11741).
+//
+// The model: versions of a dataset form a directed graph whose edges are
+// deltas; every version either gets materialized (stored in full) or is
+// reconstructed by applying stored deltas from a materialized version.
+// The library optimizes the storage/retrieval trade-off in the four
+// NP-hard regimes of the paper:
+//
+//   - MSR — minimize total retrieval cost under a storage budget,
+//   - MMR — minimize maximum retrieval cost under a storage budget,
+//   - BSR — minimize storage under a total-retrieval budget,
+//   - BMR — minimize storage under a maximum-retrieval budget,
+//
+// using the paper's algorithms: the LMG baseline, the LMG-All greedy, the
+// DP-MSR and DP-BMR tree dynamic programs applied through spanning-tree
+// extraction, the MP baseline, an exact ILP, and binary-search reductions
+// between the bounded and min variants (Lemma 7).
+//
+// Quick start:
+//
+//	g := versioning.NewGraph("mydata")
+//	v0 := g.AddNode(1000)              // materialization cost
+//	v1 := g.AddNode(1100)
+//	g.AddBiEdge(v0, v1, 50, 50)        // delta storage and retrieval cost
+//	sol, err := versioning.SolveMSR(g, 1200, versioning.Options{})
+//	// sol.Plan says which versions to materialize and which deltas to keep.
+package versioning
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dptree"
+	"repro/internal/graph"
+	"repro/internal/ilp"
+	"repro/internal/lmg"
+	"repro/internal/mp"
+	"repro/internal/plan"
+	"repro/internal/repogen"
+)
+
+// Re-exported model types. A Graph is a version graph; a Plan is a
+// storage plan (materialized versions + stored deltas); PlanCost
+// summarizes a plan's storage, total retrieval and maximum retrieval.
+type (
+	Graph    = graph.Graph
+	Cost     = graph.Cost
+	NodeID   = graph.NodeID
+	EdgeID   = graph.EdgeID
+	Plan     = plan.Plan
+	PlanCost = plan.Cost
+	Repo     = repogen.Repo
+)
+
+// Solution is a solver outcome: the plan and its evaluated cost.
+type Solution = core.Solution
+
+// ErrInfeasible reports that no plan satisfies the requested constraint.
+var ErrInfeasible = core.ErrInfeasible
+
+// NewGraph returns an empty named version graph.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// ReadGraph parses the JSON graph format (see Graph.Write).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// Evaluate computes the cost summary of a plan.
+func Evaluate(g *Graph, p *Plan) PlanCost { return plan.Evaluate(g, p) }
+
+// Algorithm selects a solver.
+type Algorithm int
+
+// Available algorithms. Auto follows the paper's Section 7.4
+// recommendation: LMG-All for MSR on general graphs, the tree DPs for
+// BMR/MMR/BSR.
+const (
+	Auto Algorithm = iota
+	AlgLMG
+	AlgLMGAll
+	AlgDPTree
+	AlgMP
+	AlgILP
+)
+
+// Options tunes solving.
+type Options struct {
+	Algorithm Algorithm
+	// Epsilon is the DP-MSR approximation parameter (default 0.05).
+	Epsilon float64
+	// MaxStates caps DP-MSR states per node (default 256).
+	MaxStates int
+	// Root is the spanning-tree root for the DP heuristics (default 0).
+	Root NodeID
+}
+
+func (o Options) dp() dptree.MSROptions {
+	eps := o.Epsilon
+	if eps == 0 {
+		eps = 0.05
+	}
+	ms := o.MaxStates
+	if ms == 0 {
+		ms = 256
+	}
+	return dptree.MSROptions{Epsilon: eps, Geometric: true, MaxStates: ms}
+}
+
+// MinStoragePlan solves Problem 1 (Table 1): the cheapest plan keeping
+// every version retrievable.
+func MinStoragePlan(g *Graph) (Solution, error) { return core.MST(g) }
+
+// ShortestPathPlan solves Problem 2: materialize root and store the
+// shortest-retrieval-path tree from it.
+func ShortestPathPlan(g *Graph, root NodeID) (Solution, error) { return core.SPT(g, root) }
+
+// SolveMSR minimizes total retrieval cost subject to storage ≤ s.
+func SolveMSR(g *Graph, s Cost, opt Options) (Solution, error) {
+	switch opt.Algorithm {
+	case AlgLMG:
+		r, err := lmg.LMG(g, s)
+		return finish(g, r.Plan, mapErr(err, lmg.ErrInfeasible))
+	case Auto, AlgLMGAll:
+		r, err := lmg.LMGAll(g, s, lmg.Options{})
+		return finish(g, r.Plan, mapErr(err, lmg.ErrInfeasible))
+	case AlgDPTree:
+		r, err := dptree.MSROnGraph(g, s, opt.Root, opt.dp())
+		return finish(g, r.Plan, mapErr(err, dptree.ErrInfeasible))
+	case AlgILP:
+		r, err := ilp.SolveMSR(g, s, ilp.Options{})
+		return finish(g, r.Plan, mapErr(err, ilp.ErrInfeasible))
+	default:
+		return Solution{}, fmt.Errorf("versioning: algorithm %d does not solve MSR", opt.Algorithm)
+	}
+}
+
+// SolveBMR minimizes storage subject to max retrieval ≤ r.
+func SolveBMR(g *Graph, r Cost, opt Options) (Solution, error) {
+	switch opt.Algorithm {
+	case AlgMP:
+		res, err := mp.Solve(g, r)
+		return finish(g, res.Plan, err)
+	case Auto, AlgDPTree:
+		res, err := dptree.BMROnGraph(g, r, opt.Root)
+		return finish(g, res.Plan, mapErr(err, dptree.ErrInfeasible))
+	default:
+		return Solution{}, fmt.Errorf("versioning: algorithm %d does not solve BMR", opt.Algorithm)
+	}
+}
+
+// SolveMMR minimizes the maximum retrieval cost subject to storage ≤ s,
+// via the Lemma 7 binary search over SolveBMR.
+func SolveMMR(g *Graph, s Cost, opt Options) (Solution, error) {
+	return core.MMRViaBMR(g, s, func(r Cost) (Solution, error) {
+		return SolveBMR(g, r, opt)
+	})
+}
+
+// SolveBSR minimizes storage subject to total retrieval ≤ r, via the
+// Lemma 7 binary search over SolveMSR.
+func SolveBSR(g *Graph, r Cost, opt Options) (Solution, error) {
+	if opt.Algorithm == Auto {
+		opt.Algorithm = AlgDPTree // monotone in the budget, unlike the greedies
+	}
+	return core.BSRViaMSR(g, r, func(s Cost) (Solution, error) {
+		return SolveMSR(g, s, opt)
+	})
+}
+
+// FrontierPoint is one (storage, total retrieval) trade-off sample.
+type FrontierPoint = plan.FrontierPoint
+
+// MSRFrontier traces the whole storage/retrieval trade-off curve in a
+// single DP-MSR run (Section 7.2: "the DP algorithm returns a whole
+// spectrum of solutions at once").
+func MSRFrontier(g *Graph, opt Options) ([]FrontierPoint, error) {
+	o := opt.dp()
+	o.PruneStorage = -1
+	dp, err := dptree.MSRFrontierOnGraph(g, opt.Root, o)
+	if err != nil {
+		return nil, err
+	}
+	return dp.Frontier().Points, nil
+}
+
+// Dataset generates one of the paper's Table 4 datasets by name
+// (datasharing, styleguide, 996.ICU, LeetCodeAnimation, freeCodeCamp).
+func Dataset(name string) (*Graph, error) { return repogen.Dataset(name) }
+
+// GenerateRepo builds a content-backed synthetic repository whose deltas
+// are weighted by real line diffs; Repo.Checkout reconstructs any version
+// under a plan.
+func GenerateRepo(name string, commits int, seed int64) *Repo {
+	return repogen.GenerateRepo(name, commits, seed)
+}
+
+func finish(g *Graph, p *Plan, err error) (Solution, error) {
+	if err != nil {
+		return Solution{}, err
+	}
+	return Solution{Plan: p, Cost: plan.Evaluate(g, p)}, nil
+}
+
+func mapErr(err, infeasible error) error {
+	if err != nil && errors.Is(err, infeasible) {
+		return ErrInfeasible
+	}
+	return err
+}
