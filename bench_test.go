@@ -10,9 +10,11 @@
 package repro_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/diff"
 	"repro/internal/dptree"
 	"repro/internal/experiments"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/lmg"
 	"repro/internal/mp"
+	"repro/internal/portfolio"
 	"repro/internal/repogen"
 	"repro/internal/treewidth"
 )
@@ -254,6 +257,107 @@ func BenchmarkILP_Datasharing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ilp.SolveMSR(g, s, ilp.Options{MaxNodes: 150, Incumbent: seed.Plan}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- portfolio-engine benchmarks ---
+
+// BenchmarkPortfolio_MSRRace measures one full MSR race (LMG, LMG-All,
+// DP-MSR concurrently; ILP excluded as it is benchmarked separately) with
+// the result cache disabled, i.e. the cold-path cost of a portfolio
+// solve.
+func BenchmarkPortfolio_MSRRace(b *testing.B) {
+	g := styleguideScaled()
+	s := g.TotalNodeStorage() / 4
+	e := portfolio.New(portfolio.Options{CacheSize: -1, Tuning: portfolio.Tuning{NoILP: true}})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(ctx, g, core.ProblemMSR, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPortfolio_BMRRace measures one full BMR race (MP, DP-BMR,
+// parallel DP-BMR).
+func BenchmarkPortfolio_BMRRace(b *testing.B) {
+	g := styleguideScaled()
+	r := g.MaxEdgeRetrieval() * 3
+	e := portfolio.New(portfolio.Options{CacheSize: -1})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(ctx, g, core.ProblemBMR, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPortfolio_CacheHit measures the memoized path: fingerprint
+// hash plus one map lookup instead of a solver race.
+func BenchmarkPortfolio_CacheHit(b *testing.B) {
+	g := styleguideScaled()
+	s := g.TotalNodeStorage() / 4
+	e := portfolio.New(portfolio.Options{Tuning: portfolio.Tuning{NoILP: true}})
+	ctx := context.Background()
+	if _, err := e.Solve(ctx, g, core.ProblemMSR, s); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Solve(ctx, g, core.ProblemMSR, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkPortfolio_Batch16 measures 16 distinct BMR instances pushed
+// through the bounded worker pool in one SolveBatch call.
+func BenchmarkPortfolio_Batch16(b *testing.B) {
+	var reqs []portfolio.Instance
+	for i := 0; i < 16; i++ {
+		g := repogen.Generate(repogen.Spec{
+			Name: "batch", Commits: 120, ExtraBiEdges: 30,
+			AvgNodeCost: 1_400_000, AvgDeltaCost: 8659, BranchProb: 0.2, Seed: int64(3000 + i),
+		})
+		reqs = append(reqs, portfolio.Instance{Graph: g, Problem: core.ProblemBMR, Constraint: g.MaxEdgeRetrieval() * 3})
+	}
+	e := portfolio.New(portfolio.Options{CacheSize: -1})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range e.SolveBatch(ctx, reqs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkPortfolio_Comparison regenerates the engine-backed Section 7
+// solver-comparison panels end to end.
+func BenchmarkPortfolio_Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.PortfolioComparison(benchConfig())) == 0 {
+			b.Fatal("no panels")
+		}
+	}
+}
+
+// BenchmarkFingerprint measures the cache key: a content hash over the
+// whole graph.
+func BenchmarkFingerprint(b *testing.B) {
+	g := styleguideScaled()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Fingerprint() == (graph.Fingerprint{}) {
+			b.Fatal("zero fingerprint")
 		}
 	}
 }

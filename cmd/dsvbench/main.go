@@ -3,10 +3,16 @@
 // Theorem 1 adversarial-LMG demonstration and the footnote-7 treewidth
 // measurements.
 //
+// It also renders the solver-portfolio comparison (-exp portfolio): the
+// same head-to-head methodology, but produced by racing all solvers
+// concurrently through the portfolio engine, with an optional per-solver
+// -timeout.
+//
 // Usage:
 //
 //	dsvbench -exp all -scale 0.12 -points 6
 //	dsvbench -exp fig10 -scale 1 -points 10 -ilp=false
+//	dsvbench -exp portfolio -scale 0.12 -timeout 2s
 package main
 
 import (
@@ -20,23 +26,25 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|table4|fig10|fig11|fig12|fig13|thm1|treewidth")
+		exp      = flag.String("exp", "all", "experiment: all|table4|fig10|fig11|fig12|fig13|thm1|treewidth|portfolio")
 		scale    = flag.Float64("scale", 0.12, "dataset size scale (1.0 = full Table 4 sizes)")
 		points   = flag.Int("points", 6, "constraint samples per curve")
 		epsilon  = flag.Float64("epsilon", 0.05, "DP-MSR approximation parameter")
 		states   = flag.Int("maxstates", 512, "DP-MSR per-node state cap")
 		ilp      = flag.Bool("ilp", true, "compute the exact OPT line where affordable")
 		ilpNodes = flag.Int("ilpnodes", 20000, "branch-and-bound node cap per OPT point")
+		timeout  = flag.Duration("timeout", 0, "per-solver deadline in the portfolio race (0 = none)")
 	)
 	flag.Parse()
 
 	cfg := experiments.Config{
-		Scale:       *scale,
-		SweepPoints: *points,
-		Epsilon:     *epsilon,
-		MaxStates:   *states,
-		ILP:         *ilp,
-		MaxILPNodes: *ilpNodes,
+		Scale:         *scale,
+		SweepPoints:   *points,
+		Epsilon:       *epsilon,
+		MaxStates:     *states,
+		ILP:           *ilp,
+		MaxILPNodes:   *ilpNodes,
+		SolverTimeout: *timeout,
 	}
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -64,6 +72,7 @@ func main() {
 		{"fig11", experiments.Figure11},
 		{"fig12", experiments.Figure12},
 		{"fig13", experiments.Figure13},
+		{"portfolio", experiments.PortfolioComparison},
 	}
 	for _, fig := range figures {
 		if !run(fig.name) {

@@ -5,15 +5,20 @@
 //
 //	dsvsolve -in graph.json -problem MSR -constraint 500000 -algo lmg-all
 //	dsvsolve -in graph.json -problem BMR -constraint 2000 -algo dp
+//	dsvsolve -in graph.json -problem MSR -constraint 500000 -portfolio -timeout 5s
 //	dsvsolve -in graph.json -problem MST
 //
 // Problems: MST, SPT, MSR, MMR, BSR, BMR (Table 1 of the paper).
 // Algorithms: lmg, lmg-all, dp, mp, ilp — each applicable to a subset of
 // the problems; "auto" picks the paper's recommendation (Section 7.4:
-// LMG-All / DP-MSR for MSR, DP-BMR for BMR).
+// LMG-All / DP-MSR for MSR, DP-BMR for BMR). -portfolio ignores -algo and
+// instead races every applicable solver concurrently through
+// versioning.Engine, printing the per-solver comparison alongside the
+// winning plan; -timeout bounds each solver within the race.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +31,7 @@ import (
 	"repro/internal/lmg"
 	"repro/internal/mp"
 	"repro/internal/plan"
+	"repro/versioning"
 )
 
 func main() {
@@ -34,6 +40,8 @@ func main() {
 		problemStr = flag.String("problem", "MSR", "MST|SPT|MSR|MMR|BSR|BMR")
 		constraint = flag.Int64("constraint", 0, "storage bound (MSR/MMR) or retrieval bound (BSR/BMR)")
 		algo       = flag.String("algo", "auto", "auto|lmg|lmg-all|dp|mp|ilp")
+		portfolio  = flag.Bool("portfolio", false, "race every applicable solver concurrently and report each")
+		timeout    = flag.Duration("timeout", 0, "per-solver deadline inside the portfolio race (0 = none)")
 		verbose    = flag.Bool("v", false, "print the full plan")
 	)
 	flag.Parse()
@@ -55,9 +63,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	sol, err := solve(g, problem, graph.Cost(*constraint), *algo)
-	if err != nil {
-		fail(err)
+
+	var sol core.Solution
+	if *portfolio {
+		eng := versioning.NewEngine(versioning.EngineOptions{SolverTimeout: *timeout})
+		res, err := eng.Solve(context.Background(), g, problem, graph.Cost(*constraint))
+		printReports(res.Reports)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("winner:         %s\n", res.Winner)
+		sol = res.Solution
+	} else {
+		sol, err = solve(g, problem, graph.Cost(*constraint), *algo)
+		if err != nil {
+			fail(err)
+		}
 	}
 	fmt.Printf("problem:        %s (constraint %d)\n", problem, *constraint)
 	fmt.Printf("storage:        %d\n", sol.Cost.Storage)
@@ -68,6 +89,24 @@ func main() {
 	if *verbose {
 		fmt.Printf("materialized versions: %v\n", sol.Plan.MaterializedNodes())
 		fmt.Printf("stored delta ids:      %v\n", sol.Plan.StoredEdges())
+	}
+}
+
+// printReports renders the per-solver race table.
+func printReports(reports []versioning.SolverReport) {
+	fmt.Printf("%-12s %12s %14s %14s %10s  %s\n", "solver", "storage", "sum retrieval", "max retrieval", "ms", "status")
+	for _, r := range reports {
+		status := "ok"
+		if r.Err != nil {
+			status = r.Err.Error()
+		}
+		ms := float64(r.Duration.Microseconds()) / 1000
+		if r.Err != nil {
+			fmt.Printf("%-12s %12s %14s %14s %10.2f  %s\n", r.Solver, "—", "—", "—", ms, status)
+			continue
+		}
+		fmt.Printf("%-12s %12d %14d %14d %10.2f  %s\n",
+			r.Solver, r.Cost.Storage, r.Cost.SumRetrieval, r.Cost.MaxRetrieval, ms, status)
 	}
 }
 

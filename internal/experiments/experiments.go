@@ -39,6 +39,9 @@ type Config struct {
 	ILP bool
 	// MaxILPNodes bounds the branch-and-bound effort per sweep point.
 	MaxILPNodes int
+	// SolverTimeout is the per-solver deadline inside the portfolio
+	// race (0 = none); it only affects PortfolioComparison.
+	SolverTimeout time.Duration
 }
 
 // Default is the CI-friendly configuration.
@@ -52,6 +55,11 @@ type Point struct {
 	Objective  graph.Cost
 	Millis     float64
 	Infeasible bool
+	// Failed marks a point with no objective for an operational reason —
+	// a per-solver timeout or solver error — as opposed to Infeasible,
+	// which asserts the constraint is mathematically unsatisfiable for
+	// that solver.
+	Failed bool
 	// Bound marks an objective that is a certified upper bound but not a
 	// proven optimum (a truncated branch-and-bound incumbent).
 	Bound bool
@@ -384,6 +392,8 @@ func Render(r Result) string {
 		for _, s := range r.Series {
 			p := s.Points[i]
 			switch {
+			case p.Failed:
+				fmt.Fprintf(&b, " | %16s %9.2f", "err", p.Millis)
 			case p.Infeasible:
 				fmt.Fprintf(&b, " | %16s %9.2f", "—", p.Millis)
 			case p.Bound:

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/portfolio"
+)
+
+// portfolioEngine builds an engine matching the experiment config. The
+// result cache is disabled: sweeps never repeat an instance and timing a
+// cache lookup would misreport solver run time.
+func portfolioEngine(cfg Config, withILP bool) *portfolio.Engine {
+	return portfolio.New(portfolio.Options{
+		SolverTimeout: cfg.SolverTimeout,
+		CacheSize:     -1,
+		Tuning: portfolio.Tuning{
+			Epsilon:     cfg.Epsilon,
+			MaxStates:   cfg.MaxStates,
+			MaxILPNodes: cfg.MaxILPNodes,
+			NoILP:       !withILP,
+		},
+	})
+}
+
+// portfolioSweep runs one dataset's constraint sweep through the engine
+// and pivots the per-solver reports into one Series per solver, plus a
+// "Portfolio" series holding the winning objective and the race's wall
+// time (the max solver duration, since solvers run concurrently).
+func portfolioSweep(g *graph.Graph, problem core.Problem, constraints []graph.Cost, eng *portfolio.Engine) Result {
+	res := Result{Dataset: g.Name}
+	switch problem {
+	case core.ProblemMSR:
+		res.XLabel, res.YLabel = "storage", "total retrieval"
+	case core.ProblemBMR:
+		res.XLabel, res.YLabel = "max retrieval", "storage"
+	default:
+		res.XLabel, res.YLabel = "constraint", "objective"
+	}
+	bySolver := map[string]*Series{}
+	order := []string{}
+	series := func(name string) *Series {
+		s, ok := bySolver[name]
+		if !ok {
+			s = &Series{Algorithm: name}
+			bySolver[name] = s
+			order = append(order, name)
+		}
+		return s
+	}
+	best := series("Portfolio")
+	for _, c := range constraints {
+		r, err := eng.Solve(context.Background(), g, problem, c)
+		var wall float64
+		for _, rep := range r.Reports {
+			p := Point{Constraint: c, Millis: float64(rep.Duration.Microseconds()) / 1000}
+			switch {
+			case errors.Is(rep.Err, core.ErrInfeasible):
+				p.Infeasible = true
+			case rep.Err != nil: // timeout or solver failure, not infeasibility
+				p.Failed = true
+			default:
+				p.Objective = portfolio.Objective(problem, rep.Cost)
+			}
+			if p.Millis > wall {
+				wall = p.Millis
+			}
+			s := series(rep.Solver)
+			s.Points = append(s.Points, p)
+		}
+		bp := Point{Constraint: c, Millis: wall}
+		switch {
+		case errors.Is(err, core.ErrInfeasible):
+			bp.Infeasible = true
+		case err != nil:
+			bp.Failed = true
+		default:
+			bp.Objective = portfolio.Objective(problem, r.Solution.Cost)
+		}
+		best.Points = append(best.Points, bp)
+	}
+	for _, name := range order {
+		res.Series = append(res.Series, *bySolver[name])
+	}
+	return res
+}
+
+// PortfolioComparison reproduces the paper's Section 7 solver-comparison
+// methodology through the portfolio engine: for each dataset panel every
+// applicable solver is raced concurrently at every sweep point, and the
+// per-solver reports become the comparison table. The "Portfolio" series
+// is the envelope the engine actually serves: the best objective across
+// solvers at the wall time of the slowest raced solver.
+func PortfolioComparison(cfg Config) []Result {
+	var out []Result
+	for _, g := range figureDatasets(cfg, "datasharing", "styleguide") {
+		_, minStorage, err := plan.MinStorage(g)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", g.Name, err))
+		}
+		hi := 4 * minStorage
+		if total := g.TotalNodeStorage(); hi > total {
+			hi = total
+		}
+		eng := portfolioEngine(cfg, cfg.ILP && g.Name == "datasharing")
+		r := portfolioSweep(g, core.ProblemMSR, sweep(minStorage, hi, cfg.SweepPoints), eng)
+		r.Figure = "Portfolio (MSR race)"
+		out = append(out, r)
+	}
+	for _, g := range figureDatasets(cfg, "styleguide", "freeCodeCamp") {
+		minPlan, _, err := plan.MinStorage(g)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", g.Name, err))
+		}
+		maxR := plan.Evaluate(g, minPlan).MaxRetrieval
+		eng := portfolioEngine(cfg, false)
+		r := portfolioSweep(g, core.ProblemBMR, sweep(0, maxR, cfg.SweepPoints), eng)
+		r.Figure = "Portfolio (BMR race)"
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestPortfolioComparisonShape runs the engine-backed comparison at a
+// tiny scale and checks the panel structure: one series per raced solver
+// plus the portfolio envelope, and the envelope never worse than any
+// individual solver at the same sweep point.
+func TestPortfolioComparisonShape(t *testing.T) {
+	cfg := Default()
+	cfg.Scale = 0.05
+	cfg.SweepPoints = 3
+	cfg.ILP = false
+	out := PortfolioComparison(cfg)
+	if len(out) != 4 {
+		t.Fatalf("got %d panels, want 4", len(out))
+	}
+	for _, r := range out {
+		if len(r.Series) < 3 { // Portfolio + at least two solvers
+			t.Fatalf("%s %s: only %d series", r.Figure, r.Dataset, len(r.Series))
+		}
+		if r.Series[0].Algorithm != "Portfolio" {
+			t.Fatalf("%s %s: first series is %q", r.Figure, r.Dataset, r.Series[0].Algorithm)
+		}
+		env := r.Series[0].Points
+		for _, s := range r.Series[1:] {
+			if len(s.Points) != len(env) {
+				t.Fatalf("%s %s: ragged series %s", r.Figure, r.Dataset, s.Algorithm)
+			}
+			for i, p := range s.Points {
+				if p.Infeasible || p.Failed || env[i].Infeasible || env[i].Failed {
+					continue
+				}
+				if p.Objective < env[i].Objective {
+					t.Fatalf("%s %s: %s beats the portfolio envelope at point %d (%d < %d)",
+						r.Figure, r.Dataset, s.Algorithm, i, p.Objective, env[i].Objective)
+				}
+			}
+		}
+	}
+}

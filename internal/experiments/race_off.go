@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorEnabled reports whether the binary was built with -race.
+const raceDetectorEnabled = false

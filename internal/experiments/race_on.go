@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether the binary was built with -race;
+// ILP-heavy sweeps are ~20x slower under the detector and skip
+// themselves in tests.
+const raceDetectorEnabled = true

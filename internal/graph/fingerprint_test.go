@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFingerprintIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := Random(RandomOptions{Nodes: 12, ExtraEdges: 8, Bidirected: true}, rng)
+
+	if g.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	c := g.Clone()
+	c.Name = "renamed"
+	if g.Fingerprint() != c.Fingerprint() {
+		t.Fatal("fingerprint depends on the name")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Figure1()
+	fp := base.Fingerprint()
+
+	costChanged := Figure1()
+	costChanged.SetNodeStorage(0, costChanged.NodeStorage(0)+1)
+	if costChanged.Fingerprint() == fp {
+		t.Fatal("node cost change not reflected")
+	}
+
+	edgeChanged := Figure1()
+	edgeChanged.SetEdgeCosts(0, 1, 1)
+	if edgeChanged.Fingerprint() == fp {
+		t.Fatal("edge cost change not reflected")
+	}
+
+	grown := Figure1()
+	grown.AddEdge(3, 4, 5, 5)
+	if grown.Fingerprint() == fp {
+		t.Fatal("added edge not reflected")
+	}
+
+	// An empty graph and a one-node zero-cost graph must differ.
+	empty := New("a")
+	one := New("b")
+	one.AddNode(0)
+	if empty.Fingerprint() == one.Fingerprint() {
+		t.Fatal("node count not reflected")
+	}
+}

@@ -96,6 +96,24 @@ func TestQuickEvaluateConsistency(t *testing.T) {
 	}
 }
 
+// TestQuickValidateAgreesWithEvaluate checks that Validate accepts a
+// plan exactly when Evaluate declares it feasible (shapes matching).
+func TestQuickValidateAgreesWithEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	f := func() bool {
+		g := graph.Random(graph.RandomOptions{
+			Nodes:      1 + rng.Intn(10),
+			ExtraEdges: rng.Intn(12),
+			Bidirected: rng.Intn(2) == 0,
+		}, rng)
+		p := randomPlan(g, 0.3+0.4*rng.Float64(), rng)
+		return (p.Validate(g) == nil) == Evaluate(g, p).Feasible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickMaterializedAlwaysZero checks R(v) = 0 ⟺ reachable at zero
 // cost; in particular materialized versions always retrieve for free.
 func TestQuickMaterializedAlwaysZero(t *testing.T) {

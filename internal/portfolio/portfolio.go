@@ -1,0 +1,419 @@
+// Package portfolio implements the concurrent solver-portfolio engine:
+// the runtime counterpart of the paper's Section 7 evaluation, where six
+// solver families (LMG, LMG-All, DP-MSR, DP-BMR, MP, ILP) are compared
+// head-to-head across four problem regimes. Instead of comparing offline,
+// the engine races every applicable solver for a given problem
+// concurrently, with per-solver timeouts and cooperative cancellation,
+// and returns the best feasible solution found plus a per-solver report
+// (cost, wall time, error).
+//
+// On top of the race the engine provides the scale substrate the ROADMAP
+// asks for: batch solving of many (graph, constraint) instances across a
+// bounded worker pool, a result cache keyed by the content fingerprint of
+// the instance (graph.Fingerprint + problem + constraint), and
+// singleflight deduplication so concurrent identical solves compute once.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// Solver is one registered algorithm for one problem. Solve must be safe
+// for concurrent use and should honor ctx cancellation at natural
+// checkpoints (the engine additionally abandons solvers whose deadline
+// expires, so a non-cooperative solver delays nothing but its own
+// report).
+type Solver struct {
+	Name  string
+	Solve func(ctx context.Context, g *graph.Graph, constraint graph.Cost) (core.Solution, error)
+}
+
+// Report is one solver's outcome within a race.
+type Report struct {
+	Solver   string
+	Cost     plan.Cost // valid only when Err == nil
+	Duration time.Duration
+	Err      error // solver error, constraint violation, or ctx timeout
+}
+
+// Result is the outcome of a portfolio solve.
+type Result struct {
+	// Solution is the best feasible solution across solvers.
+	Solution core.Solution
+	// Winner names the solver that produced Solution.
+	Winner string
+	// Reports has one entry per registered solver, in registry order.
+	// Shared across cache hits: callers must not modify it.
+	Reports []Report
+	// CacheHit reports that the result was served from the engine cache
+	// (or joined an in-flight identical solve) instead of being computed.
+	// Solution.Plan is always the caller's own copy: mutating it never
+	// affects what later cache hits observe.
+	CacheHit bool
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the number of instances solved concurrently by
+	// SolveBatch. 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// SolverTimeout is the per-solver deadline within a race. 0 means no
+	// deadline (solvers still inherit the caller's ctx).
+	SolverTimeout time.Duration
+	// CacheSize bounds the number of cached results. 0 means 1024;
+	// negative disables caching.
+	CacheSize int
+	// Tuning parameterizes the default registry.
+	Tuning Tuning
+	// Registry overrides the solver registry (nil = DefaultRegistry(Tuning)).
+	Registry func(p core.Problem) []Solver
+}
+
+// Engine races solver portfolios. It is safe for concurrent use; a zero
+// Engine is not valid, use New.
+type Engine struct {
+	opts     Options
+	registry func(p core.Problem) []Solver
+	cacheCap int
+
+	mu       sync.Mutex
+	cache    map[cacheKey]cacheEntry
+	order    []cacheKey // FIFO eviction order
+	inflight map[cacheKey]*call
+}
+
+type cacheKey struct {
+	fp         graph.Fingerprint
+	problem    core.Problem
+	constraint graph.Cost
+}
+
+// cacheEntry memoizes a solve outcome. err is non-nil only for
+// deterministic failures (core.ErrInfeasible): an instance proven
+// infeasible once is infeasible forever, so repeat solves skip the race.
+type cacheEntry struct {
+	res Result
+	err error
+}
+
+// call is an in-flight solve other goroutines can join (singleflight).
+type call struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	e := &Engine{opts: opts, registry: opts.Registry, cacheCap: opts.CacheSize}
+	if e.registry == nil {
+		e.registry = DefaultRegistry(opts.Tuning)
+	}
+	if e.cacheCap == 0 {
+		e.cacheCap = 1024
+	}
+	if e.cacheCap > 0 {
+		e.cache = make(map[cacheKey]cacheEntry)
+		e.inflight = make(map[cacheKey]*call)
+	}
+	return e
+}
+
+// Solve races every registered solver for problem on g under the given
+// constraint and returns the best feasible solution. Identical instances
+// (same graph content, problem and constraint) are served from the cache;
+// concurrent identical solves compute once and share the result.
+//
+// If every solver reports infeasibility the error is core.ErrInfeasible —
+// a deterministic outcome that is itself memoized, so repeat solves of a
+// proven-infeasible instance skip the race. Timeouts and cancellations
+// are never cached; if the caller's ctx ends the error is ctx.Err().
+func (e *Engine) Solve(ctx context.Context, g *graph.Graph, problem core.Problem, constraint graph.Cost) (Result, error) {
+	solvers := e.registry(problem)
+	if len(solvers) == 0 {
+		return Result{}, fmt.Errorf("portfolio: no registered solver for %s", problem)
+	}
+	if e.cache == nil {
+		return e.race(ctx, solvers, g, problem, constraint)
+	}
+	k := cacheKey{fp: g.Fingerprint(), problem: problem, constraint: constraint}
+	for {
+		e.mu.Lock()
+		if ent, ok := e.cache[k]; ok {
+			e.mu.Unlock()
+			return cachedCopy(ent.res), ent.err
+		}
+		c, ok := e.inflight[k]
+		if !ok {
+			break // e.mu still held
+		}
+		e.mu.Unlock()
+		select {
+		case <-c.done:
+			if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+				// The leader died of its own deadline or cancellation —
+				// a transient, caller-specific outcome. Retry as leader
+				// rather than propagating a foreign cancellation.
+				if ctx.Err() != nil {
+					return Result{}, ctx.Err()
+				}
+				continue
+			}
+			return cachedCopy(c.res), c.err
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[k] = c
+	e.mu.Unlock()
+
+	res, err := e.race(ctx, solvers, g, problem, constraint)
+	c.res, c.err = res, err
+	e.mu.Lock()
+	delete(e.inflight, k)
+	if err == nil || errors.Is(err, core.ErrInfeasible) {
+		e.store(k, res, err)
+	}
+	e.mu.Unlock()
+	close(c.done)
+	return res, err
+}
+
+// cachedCopy marks a memoized result as a hit and hands the caller its
+// own copy of the plan, so result mutation cannot corrupt the cache.
+func cachedCopy(r Result) Result {
+	r.CacheHit = true
+	if r.Solution.Plan != nil {
+		r.Solution.Plan = r.Solution.Plan.Clone()
+	}
+	return r
+}
+
+// store inserts a solve outcome (success or deterministic
+// infeasibility), evicting the oldest entry at capacity. The caller
+// holds e.mu.
+func (e *Engine) store(k cacheKey, r Result, err error) {
+	if _, ok := e.cache[k]; !ok {
+		if len(e.order) >= e.cacheCap {
+			delete(e.cache, e.order[0])
+			e.order = e.order[1:]
+		}
+		e.order = append(e.order, k)
+	}
+	r.CacheHit = false
+	// Keep a private copy of the plan: the leader's caller received the
+	// original and may mutate it.
+	if r.Solution.Plan != nil {
+		r.Solution.Plan = r.Solution.Plan.Clone()
+	}
+	e.cache[k] = cacheEntry{res: r, err: err}
+}
+
+// CacheLen reports the number of cached results.
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+func (e *Engine) race(ctx context.Context, solvers []Solver, g *graph.Graph, problem core.Problem, constraint graph.Cost) (Result, error) {
+	reports := make([]Report, len(solvers))
+	sols := make([]core.Solution, len(solvers))
+	var wg sync.WaitGroup
+	for i := range solvers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], sols[i] = e.runOne(ctx, solvers[i], g, problem, constraint)
+		}(i)
+	}
+	wg.Wait()
+
+	res := Result{Reports: reports}
+	best := -1
+	for i := range reports {
+		if reports[i].Err != nil {
+			continue
+		}
+		if best < 0 || better(problem, reports[i].Cost, reports[best].Cost) {
+			best = i
+		}
+	}
+	if best < 0 {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		allInfeasible := true
+		errs := make([]error, 0, len(reports))
+		for i := range reports {
+			if !errors.Is(reports[i].Err, core.ErrInfeasible) {
+				allInfeasible = false
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", reports[i].Solver, reports[i].Err))
+		}
+		if allInfeasible {
+			return res, core.ErrInfeasible
+		}
+		return res, fmt.Errorf("portfolio: every solver failed: %w", errors.Join(errs...))
+	}
+	res.Winner = solvers[best].Name
+	res.Solution = sols[best]
+	return res, nil
+}
+
+// runOne runs a single solver under the per-solver deadline and checks
+// the returned solution against the problem constraint.
+func (e *Engine) runOne(ctx context.Context, s Solver, g *graph.Graph, problem core.Problem, constraint graph.Cost) (Report, core.Solution) {
+	rep := Report{Solver: s.Name}
+	if err := ctx.Err(); err != nil {
+		rep.Err = err
+		return rep, core.Solution{}
+	}
+	sctx, cancel := ctx, func() {}
+	if e.opts.SolverTimeout > 0 {
+		sctx, cancel = context.WithTimeout(ctx, e.opts.SolverTimeout)
+	}
+	defer cancel()
+
+	type outcome struct {
+		sol core.Solution
+		err error
+	}
+	ch := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("portfolio: solver %s panicked: %v", s.Name, r)}
+			}
+		}()
+		sol, err := s.Solve(sctx, g, constraint)
+		ch <- outcome{sol, err}
+	}()
+	var o outcome
+	select {
+	case o = <-ch:
+	case <-sctx.Done():
+		// Abandon the solver goroutine; it finishes (and is discarded)
+		// on its own.
+		o = outcome{err: sctx.Err()}
+	}
+	rep.Duration = time.Since(start)
+	if o.err == nil && o.sol.Plan == nil {
+		o.err = fmt.Errorf("portfolio: solver %s returned no plan", s.Name)
+	}
+	if o.err == nil {
+		o.err = checkConstraint(problem, constraint, o.sol.Cost)
+	}
+	if o.err != nil {
+		rep.Err = o.err
+		return rep, core.Solution{}
+	}
+	rep.Cost = o.sol.Cost
+	return rep, o.sol
+}
+
+// checkConstraint rejects solutions that violate the problem's hard
+// constraint, so a buggy or heuristic solver can never win with an
+// inadmissible plan.
+func checkConstraint(p core.Problem, constraint graph.Cost, c plan.Cost) error {
+	if !c.Feasible {
+		return errors.New("portfolio: solution leaves versions unretrievable")
+	}
+	switch p {
+	case core.ProblemMSR, core.ProblemMMR:
+		if c.Storage > constraint {
+			return fmt.Errorf("portfolio: storage %d exceeds budget %d", c.Storage, constraint)
+		}
+	case core.ProblemBSR:
+		if c.SumRetrieval > constraint {
+			return fmt.Errorf("portfolio: total retrieval %d exceeds bound %d", c.SumRetrieval, constraint)
+		}
+	case core.ProblemBMR:
+		if c.MaxRetrieval > constraint {
+			return fmt.Errorf("portfolio: max retrieval %d exceeds bound %d", c.MaxRetrieval, constraint)
+		}
+	}
+	return nil
+}
+
+// Objective returns the primary (minimized) objective of problem p for a
+// cost summary, matching Table 1.
+func Objective(p core.Problem, c plan.Cost) graph.Cost {
+	switch p {
+	case core.ProblemMSR, core.ProblemSPT:
+		return c.SumRetrieval
+	case core.ProblemMMR:
+		return c.MaxRetrieval
+	default: // MST, BSR, BMR minimize storage
+		return c.Storage
+	}
+}
+
+// better reports whether cost a beats cost b for problem p (objective
+// first, then the constrained quantity as tie-break).
+func better(p core.Problem, a, b plan.Cost) bool {
+	ao, bo := Objective(p, a), Objective(p, b)
+	if ao != bo {
+		return ao < bo
+	}
+	switch p {
+	case core.ProblemMSR, core.ProblemMMR, core.ProblemSPT:
+		return a.Storage < b.Storage
+	default:
+		return a.SumRetrieval < b.SumRetrieval
+	}
+}
+
+// Instance is one batch work item.
+type Instance struct {
+	Graph      *graph.Graph
+	Problem    core.Problem
+	Constraint graph.Cost
+}
+
+// BatchResult pairs a batch item's result with its error.
+type BatchResult struct {
+	Result Result
+	Err    error
+}
+
+// SolveBatch solves many instances across a worker pool of at most
+// Options.Workers concurrent solves. Results are positional. A ctx
+// cancellation marks the not-yet-started instances with ctx.Err().
+func (e *Engine) SolveBatch(ctx context.Context, instances []Instance) []BatchResult {
+	out := make([]BatchResult, len(instances))
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range instances {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				out[i].Err = ctx.Err()
+				return
+			}
+			r, err := e.Solve(ctx, instances[i].Graph, instances[i].Problem, instances[i].Constraint)
+			out[i] = BatchResult{Result: r, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,122 @@
+package versioning
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/portfolio"
+)
+
+// Problem identifies one of the paper's optimization problems (Table 1),
+// for use with Engine.Solve.
+type Problem = core.Problem
+
+// The six problems of Table 1.
+const (
+	ProblemMST Problem = core.ProblemMST // minimize storage, any finite retrieval
+	ProblemSPT Problem = core.ProblemSPT // single materialization, shortest paths
+	ProblemMSR Problem = core.ProblemMSR // min Σ R(v) s.t. storage ≤ S
+	ProblemMMR Problem = core.ProblemMMR // min max R(v) s.t. storage ≤ S
+	ProblemBSR Problem = core.ProblemBSR // min storage s.t. Σ R(v) ≤ R
+	ProblemBMR Problem = core.ProblemBMR // min storage s.t. max R(v) ≤ R
+)
+
+// Portfolio-engine result types. A PortfolioResult carries the best
+// solution found, the winning solver's name, and one SolverReport per
+// raced solver; BatchRequest/BatchResult are the batch-mode equivalents.
+type (
+	PortfolioResult = portfolio.Result
+	SolverReport    = portfolio.Report
+	BatchRequest    = portfolio.Instance
+	BatchResult     = portfolio.BatchResult
+)
+
+// EngineOptions configures a portfolio Engine.
+type EngineOptions struct {
+	// Workers bounds concurrent instances in SolveBatch
+	// (0 = runtime.GOMAXPROCS).
+	Workers int
+	// SolverTimeout is the per-solver deadline within a race (0 = none).
+	// A solver that misses its deadline is abandoned and reported with
+	// context.DeadlineExceeded; the race still returns the best solution
+	// among the solvers that finished.
+	SolverTimeout time.Duration
+	// CacheSize bounds the result cache (0 = 1024 entries, negative
+	// disables). Results are keyed by graph content fingerprint, problem
+	// and constraint, so a structurally identical graph hits the cache
+	// regardless of its Name or pointer identity.
+	CacheSize int
+	// Epsilon / MaxStates / Root tune the tree DPs as in Options.
+	Epsilon   float64
+	MaxStates int
+	Root      NodeID
+	// MaxILPNodes caps branch-and-bound effort per ILP solve (default
+	// 20000); DisableILP drops the ILP from the MSR portfolio entirely.
+	MaxILPNodes int
+	DisableILP  bool
+}
+
+// Engine is the concurrent solver-portfolio runtime: for each Solve it
+// races every applicable solver (the paper's Section 7 line-up) under
+// per-solver timeouts, returns the best feasible solution plus per-solver
+// reports, memoizes results by graph fingerprint, and batch-solves many
+// instances across a bounded worker pool. An Engine is safe for
+// concurrent use by multiple goroutines.
+type Engine struct {
+	p *portfolio.Engine
+}
+
+// NewEngine returns a portfolio engine.
+func NewEngine(opt EngineOptions) *Engine {
+	return &Engine{p: portfolio.New(portfolio.Options{
+		Workers:       opt.Workers,
+		SolverTimeout: opt.SolverTimeout,
+		CacheSize:     opt.CacheSize,
+		Tuning: portfolio.Tuning{
+			Epsilon:     opt.Epsilon,
+			MaxStates:   opt.MaxStates,
+			Root:        opt.Root,
+			MaxILPNodes: opt.MaxILPNodes,
+			NoILP:       opt.DisableILP,
+		},
+	})}
+}
+
+// Solve races the portfolio for problem on g under the given constraint
+// (ignored for MST/SPT). If every solver proves its constraint
+// unsatisfiable the error is ErrInfeasible.
+func (e *Engine) Solve(ctx context.Context, g *Graph, problem Problem, constraint Cost) (PortfolioResult, error) {
+	return e.p.Solve(ctx, g, problem, constraint)
+}
+
+// SolveMSR races the MSR portfolio: minimize total retrieval, storage ≤ s.
+func (e *Engine) SolveMSR(ctx context.Context, g *Graph, s Cost) (PortfolioResult, error) {
+	return e.p.Solve(ctx, g, core.ProblemMSR, s)
+}
+
+// SolveMMR races the MMR portfolio: minimize max retrieval, storage ≤ s.
+func (e *Engine) SolveMMR(ctx context.Context, g *Graph, s Cost) (PortfolioResult, error) {
+	return e.p.Solve(ctx, g, core.ProblemMMR, s)
+}
+
+// SolveBSR races the BSR portfolio: minimize storage, total retrieval ≤ r.
+func (e *Engine) SolveBSR(ctx context.Context, g *Graph, r Cost) (PortfolioResult, error) {
+	return e.p.Solve(ctx, g, core.ProblemBSR, r)
+}
+
+// SolveBMR races the BMR portfolio: minimize storage, max retrieval ≤ r.
+func (e *Engine) SolveBMR(ctx context.Context, g *Graph, r Cost) (PortfolioResult, error) {
+	return e.p.Solve(ctx, g, core.ProblemBMR, r)
+}
+
+// SolveBatch solves many instances across the engine's bounded worker
+// pool, returning positional results. Duplicate instances within a batch
+// are deduplicated through the cache and singleflight layers.
+func (e *Engine) SolveBatch(ctx context.Context, reqs []BatchRequest) []BatchResult {
+	return e.p.SolveBatch(ctx, reqs)
+}
+
+// CachedResults reports how many solve results the engine currently
+// memoizes.
+func (e *Engine) CachedResults() int { return e.p.CacheLen() }

@@ -1,0 +1,141 @@
+package versioning
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func engineTestGraph() *Graph {
+	g := NewGraph("engine-test")
+	var ids []NodeID
+	for i := 0; i < 8; i++ {
+		ids = append(ids, g.AddNode(1000+Cost(i)*37))
+	}
+	for i := 1; i < 8; i++ {
+		g.AddBiEdge(ids[i-1], ids[i], 60+Cost(i), 50+Cost(i)*3)
+	}
+	g.AddBiEdge(ids[0], ids[4], 90, 40)
+	g.AddBiEdge(ids[2], ids[7], 70, 35)
+	return g
+}
+
+// TestEngineRacesPortfolios checks the public engine races multiple
+// solvers for MSR and BMR and that the winning solution matches its own
+// evaluation.
+func TestEngineRacesPortfolios(t *testing.T) {
+	g := engineTestGraph()
+	e := NewEngine(EngineOptions{})
+	ctx := context.Background()
+
+	msr, err := e.SolveMSR(ctx, g, g.TotalNodeStorage()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bmr, err := e.SolveBMR(ctx, g, g.MaxEdgeRetrieval()*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]PortfolioResult{"MSR": msr, "BMR": bmr} {
+		if len(res.Reports) < 2 {
+			t.Fatalf("%s: raced %d solvers, want >= 2", name, len(res.Reports))
+		}
+		if res.Winner == "" {
+			t.Fatalf("%s: no winner", name)
+		}
+		if got := Evaluate(g, res.Solution.Plan); got != res.Solution.Cost {
+			t.Fatalf("%s: reported cost %+v != evaluated %+v", name, res.Solution.Cost, got)
+		}
+	}
+}
+
+// TestEngineGenericSolve exercises Solve across every Problem constant.
+func TestEngineGenericSolve(t *testing.T) {
+	g := engineTestGraph()
+	e := NewEngine(EngineOptions{})
+	ctx := context.Background()
+	total := g.TotalNodeStorage()
+	for _, tc := range []struct {
+		problem    Problem
+		constraint Cost
+	}{
+		{ProblemMST, 0},
+		{ProblemSPT, 0},
+		{ProblemMSR, total},
+		{ProblemMMR, total},
+		{ProblemBSR, total * 8},
+		{ProblemBMR, g.MaxEdgeRetrieval() * 8},
+	} {
+		res, err := e.Solve(ctx, g, tc.problem, tc.constraint)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.problem, err)
+		}
+		if !res.Solution.Cost.Feasible {
+			t.Fatalf("%s: infeasible winner", tc.problem)
+		}
+	}
+}
+
+// TestEngineCacheAndBatch checks fingerprint memoization and the batch
+// pool through the public API.
+func TestEngineCacheAndBatch(t *testing.T) {
+	g := engineTestGraph()
+	e := NewEngine(EngineOptions{Workers: 4})
+	ctx := context.Background()
+	s := g.TotalNodeStorage() / 2
+
+	first, err := e.SolveMSR(ctx, g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.SolveMSR(ctx, g.Clone(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit || !second.CacheHit {
+		t.Fatalf("cache hits: first=%v second=%v, want false/true", first.CacheHit, second.CacheHit)
+	}
+	if e.CachedResults() == 0 {
+		t.Fatal("no cached results after a solve")
+	}
+
+	reqs := []BatchRequest{
+		{Graph: g, Problem: ProblemMSR, Constraint: s},
+		{Graph: g, Problem: ProblemBMR, Constraint: g.MaxEdgeRetrieval() * 2},
+		{Graph: graph.Figure1(), Problem: ProblemMSR, Constraint: graph.Figure1().TotalNodeStorage()},
+	}
+	out := e.SolveBatch(ctx, reqs)
+	if len(out) != 3 {
+		t.Fatalf("got %d batch results", len(out))
+	}
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("batch %d: %v", i, r.Err)
+		}
+	}
+	if !out[0].Result.CacheHit {
+		t.Fatal("batch repeat of a solved instance missed the cache")
+	}
+}
+
+// TestEngineCancellation checks a dead context aborts a solve up front.
+func TestEngineCancellation(t *testing.T) {
+	e := NewEngine(EngineOptions{SolverTimeout: time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SolveMSR(ctx, engineTestGraph(), 1<<40); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEngineInfeasible maps portfolio-wide infeasibility to the public
+// sentinel.
+func TestEngineInfeasible(t *testing.T) {
+	e := NewEngine(EngineOptions{})
+	if _, err := e.SolveMSR(context.Background(), engineTestGraph(), 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

@@ -27,6 +27,12 @@
 //	g.AddBiEdge(v0, v1, 50, 50)        // delta storage and retrieval cost
 //	sol, err := versioning.SolveMSR(g, 1200, versioning.Options{})
 //	// sol.Plan says which versions to materialize and which deltas to keep.
+//
+// The SolveXXX functions run one algorithm serially. The Engine runs the
+// whole portfolio: it races every applicable solver concurrently with
+// per-solver timeouts, returns the best feasible solution plus a
+// per-solver report, memoizes results by graph fingerprint, and batch
+// solves across a bounded worker pool (see NewEngine).
 package versioning
 
 import (
