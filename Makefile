@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz
+.PHONY: all build vet test race bench fuzz serve
 
 all: vet build test
 
@@ -21,3 +21,7 @@ bench:
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzJSONRoundTrip -fuzztime=30s ./internal/graph
+
+# Run the dsvd serving daemon with a small preloaded demo history.
+serve:
+	$(GO) run ./cmd/dsvd -addr :8080 -demo 40

@@ -27,6 +27,7 @@ import (
 	"repro/internal/portfolio"
 	"repro/internal/repogen"
 	"repro/internal/treewidth"
+	"repro/versioning"
 )
 
 func benchConfig() experiments.Config {
@@ -404,6 +405,84 @@ func BenchmarkGitPackWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if res := gitpack.Solve(g, gitpack.Options{Window: 10}); !res.Cost.Feasible {
 			b.Fatal("infeasible")
+		}
+	}
+}
+
+// benchRepository ingests a 160-commit content-backed history into a
+// plan-executing Repository (MSR regime, re-plan every 40 commits).
+func benchRepository(b *testing.B, cacheEntries int) (*versioning.Repository, *repogen.Repo) {
+	b.Helper()
+	src := repogen.GenerateRepo("bench-repo", 160, 7)
+	repo := versioning.NewRepository("bench-repo", versioning.RepositoryOptions{
+		Problem:       versioning.ProblemMSR,
+		ReplanEvery:   40,
+		CacheEntries:  cacheEntries,
+		EngineOptions: versioning.EngineOptions{DisableILP: true},
+	})
+	ctx := context.Background()
+	for v := 0; v < src.Graph.N(); v++ {
+		if _, err := repo.Commit(ctx, src.Parents[v], src.Contents[v]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return repo, src
+}
+
+// BenchmarkRepositoryIngest measures Commit throughput end to end,
+// including the Myers diffs and the periodic re-plan/migration cycles.
+func BenchmarkRepositoryIngest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchRepository(b, 64)
+	}
+}
+
+// BenchmarkRepositoryCheckout_Path measures cold checkouts: every call
+// walks the plan's retrieval path and applies the stored edit scripts
+// (the LRU is disabled).
+func BenchmarkRepositoryCheckout_Path(b *testing.B) {
+	repo, src := benchRepository(b, -1)
+	ctx := context.Background()
+	n := src.Graph.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repo.Checkout(ctx, versioning.NodeID(i%n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepositoryCheckout_CacheHit measures the LRU hit path.
+func BenchmarkRepositoryCheckout_CacheHit(b *testing.B) {
+	repo, src := benchRepository(b, 256)
+	ctx := context.Background()
+	hot := versioning.NodeID(src.Graph.N() - 1)
+	if _, err := repo.Checkout(ctx, hot); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repo.Checkout(ctx, hot); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepositoryCheckoutBatch measures reconstructing the whole
+// history through the bounded worker pool, cold cache each iteration.
+func BenchmarkRepositoryCheckoutBatch(b *testing.B) {
+	repo, src := benchRepository(b, -1)
+	ctx := context.Background()
+	ids := make([]versioning.NodeID, src.Graph.N())
+	for i := range ids {
+		ids[i] = versioning.NodeID(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, res := range repo.CheckoutBatch(ctx, ids) {
+			if res.Err != nil {
+				b.Fatalf("batch item %d: %v", j, res.Err)
+			}
 		}
 	}
 }

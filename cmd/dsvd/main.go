@@ -1,0 +1,80 @@
+// Command dsvd is the dataset-versioning serving daemon: a Repository
+// behind HTTP. Clients commit versions and check them out; the daemon
+// keeps the storage layout optimal by re-solving the configured regime
+// through the portfolio engine every -replan-every commits and migrating
+// its content-addressed store to the winning plan.
+//
+// Quick start:
+//
+//	dsvd -addr :8080 -problem MSR -replan-every 8 &
+//	curl -s localhost:8080/commit -d '{"parent":-1,"lines":["v0 line"]}'
+//	curl -s localhost:8080/commit -d '{"parent":0,"lines":["v0 line","v1 line"]}'
+//	curl -s localhost:8080/checkout/1
+//	curl -s localhost:8080/plan
+//	curl -s localhost:8080/stats
+//
+// -demo N preloads a seeded synthetic history of N commits so /checkout
+// and /plan have something to serve immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/versioning"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		problemStr  = flag.String("problem", "MSR", "re-planning regime: MSR|MMR|BSR|BMR (or MST|SPT baselines)")
+		constraint  = flag.Int64("constraint", 0, "regime bound; 0 derives one from the minimum-storage plan")
+		autoFactor  = flag.Float64("auto-factor", 2, "slack multiplier for automatic storage budgets")
+		replanEvery = flag.Int("replan-every", 8, "re-plan and migrate every k commits (negative: only via POST /replan)")
+		cache       = flag.Int("cache", 256, "checkout LRU entries (negative disables)")
+		workers     = flag.Int("workers", 0, "batch checkout workers (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-solver deadline inside re-planning races")
+		ilp         = flag.Bool("ilp", false, "include the exact ILP in MSR re-planning races")
+		demo        = flag.Int("demo", 0, "preload a synthetic history of N commits")
+		demoSeed    = flag.Int64("demo-seed", 42, "seed for -demo")
+	)
+	flag.Parse()
+	problem, err := core.ParseProblem(*problemStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsvd: %v\n", err)
+		os.Exit(2)
+	}
+	repo := versioning.NewRepository("dsvd", versioning.RepositoryOptions{
+		Problem:      problem,
+		Constraint:   *constraint,
+		AutoFactor:   *autoFactor,
+		ReplanEvery:  *replanEvery,
+		CacheEntries: *cache,
+		Workers:      *workers,
+		EngineOptions: versioning.EngineOptions{
+			SolverTimeout: *timeout,
+			DisableILP:    !*ilp,
+		},
+	})
+	if *demo > 0 {
+		src := versioning.GenerateRepo("dsvd-demo", *demo, *demoSeed)
+		ctx := context.Background()
+		for v := 0; v < src.Graph.N(); v++ {
+			if _, err := repo.Commit(ctx, src.Parents[v], src.Contents[v]); err != nil {
+				log.Fatalf("dsvd: preloading demo commit %d: %v", v, err)
+			}
+		}
+		log.Printf("dsvd: preloaded %d demo commits (seed %d)", *demo, *demoSeed)
+	}
+	log.Printf("dsvd: serving %s (constraint %d, re-plan every %d commits) on %s",
+		problem, *constraint, *replanEvery, *addr)
+	if err := http.ListenAndServe(*addr, newServer(repo)); err != nil {
+		log.Fatalf("dsvd: %v", err)
+	}
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/versioning"
+)
+
+// server wires a versioning.Repository to HTTP. Endpoints:
+//
+//	POST /commit         {"parent": -1, "lines": [...]} -> commitResponse
+//	GET  /checkout/{id}  -> checkoutResponse
+//	POST /checkout       {"ids": [0, 3, 7]} -> batch checkoutResponse list
+//	POST /replan         force a portfolio re-plan now
+//	GET  /plan           -> versioning.PlanSummary
+//	GET  /stats          -> versioning.RepositoryStats
+//	GET  /healthz        liveness probe
+type server struct {
+	repo *versioning.Repository
+	mux  *http.ServeMux
+}
+
+func newServer(repo *versioning.Repository) *server {
+	s := &server{repo: repo, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /commit", s.handleCommit)
+	s.mux.HandleFunc("GET /checkout/{id}", s.handleCheckout)
+	s.mux.HandleFunc("POST /checkout", s.handleCheckoutBatch)
+	s.mux.HandleFunc("POST /replan", s.handleReplan)
+	s.mux.HandleFunc("GET /plan", s.handlePlan)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type commitRequest struct {
+	// Parent is the version the commit derives from; -1 or omitted
+	// commits a root.
+	Parent *versioning.NodeID `json:"parent"`
+	Lines  []string           `json:"lines"`
+}
+
+type commitResponse struct {
+	ID       versioning.NodeID `json:"id"`
+	Versions int               `json:"versions"`
+}
+
+type checkoutResponse struct {
+	ID    versioning.NodeID `json:"id"`
+	Lines []string          `json:"lines"`
+	Error string            `json:"error,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes caps request bodies so a hostile payload cannot exhaust
+// memory before JSON decoding even starts.
+const maxBodyBytes = 64 << 20
+
+func (s *server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req commitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad commit request: %v", err)})
+		return
+	}
+	parent := versioning.NoParent
+	if req.Parent != nil {
+		parent = *req.Parent
+	}
+	id, err := s.repo.Commit(r.Context(), parent, req.Lines)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "does not exist") {
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, commitResponse{ID: id, Versions: s.repo.Versions()})
+}
+
+func (s *server) handleCheckout(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad version id: %v", err)})
+		return
+	}
+	lines, err := s.repo.Checkout(r.Context(), versioning.NodeID(id64))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			status = http.StatusRequestTimeout
+		} else if strings.Contains(err.Error(), "unknown version") {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, checkoutResponse{ID: versioning.NodeID(id64), Lines: lines})
+}
+
+type checkoutBatchRequest struct {
+	IDs []versioning.NodeID `json:"ids"`
+}
+
+func (s *server) handleCheckoutBatch(w http.ResponseWriter, r *http.Request) {
+	var req checkoutBatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad batch request: %v", err)})
+		return
+	}
+	results := s.repo.CheckoutBatch(r.Context(), req.IDs)
+	out := make([]checkoutResponse, len(results))
+	for i, res := range results {
+		out[i] = checkoutResponse{ID: req.IDs[i], Lines: res.Lines}
+		if res.Err != nil {
+			out[i].Error = res.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleReplan(w http.ResponseWriter, r *http.Request) {
+	if err := s.repo.Replan(r.Context()); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.repo.Summary())
+}
+
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.repo.Summary())
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.repo.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

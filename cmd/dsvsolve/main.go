@@ -6,6 +6,7 @@
 //	dsvsolve -in graph.json -problem MSR -constraint 500000 -algo lmg-all
 //	dsvsolve -in graph.json -problem BMR -constraint 2000 -algo dp
 //	dsvsolve -in graph.json -problem MSR -constraint 500000 -portfolio -timeout 5s
+//	dsvsolve -in graph.json -problem MSR -constraint 500000 -json
 //	dsvsolve -in graph.json -problem MST
 //
 // Problems: MST, SPT, MSR, MMR, BSR, BMR (Table 1 of the paper).
@@ -15,10 +16,15 @@
 // instead races every applicable solver concurrently through
 // versioning.Engine, printing the per-solver comparison alongside the
 // winning plan; -timeout bounds each solver within the race.
+//
+// -json suppresses the human-readable output and instead emits the plan
+// as a versioning.PlanSummary — the same machine-readable shape the dsvd
+// daemon serves at /plan — so scripted pipelines can consume either.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -43,6 +49,7 @@ func main() {
 		portfolio  = flag.Bool("portfolio", false, "race every applicable solver concurrently and report each")
 		timeout    = flag.Duration("timeout", 0, "per-solver deadline inside the portfolio race (0 = none)")
 		verbose    = flag.Bool("v", false, "print the full plan")
+		asJSON     = flag.Bool("json", false, "emit the plan as JSON (versioning.PlanSummary, dsvd's /plan shape)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -65,20 +72,36 @@ func main() {
 	}
 
 	var sol core.Solution
+	var winner string
 	if *portfolio {
 		eng := versioning.NewEngine(versioning.EngineOptions{SolverTimeout: *timeout})
 		res, err := eng.Solve(context.Background(), g, problem, graph.Cost(*constraint))
-		printReports(res.Reports)
+		if !*asJSON {
+			printReports(res.Reports)
+		}
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("winner:         %s\n", res.Winner)
+		winner = res.Winner
+		if !*asJSON {
+			fmt.Printf("winner:         %s\n", winner)
+		}
 		sol = res.Solution
 	} else {
 		sol, err = solve(g, problem, graph.Cost(*constraint), *algo)
 		if err != nil {
 			fail(err)
 		}
+	}
+	if *asJSON {
+		summary := versioning.Summarize(g, sol.Plan, problem, graph.Cost(*constraint))
+		summary.Winner = winner
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			fail(err)
+		}
+		return
 	}
 	fmt.Printf("problem:        %s (constraint %d)\n", problem, *constraint)
 	fmt.Printf("storage:        %d\n", sol.Cost.Storage)

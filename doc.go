@@ -4,7 +4,11 @@
 //
 // The public API lives in repro/versioning, including the concurrent
 // solver-portfolio Engine that races every applicable solver per
-// problem; the paper's evaluation is regenerated by cmd/dsvbench
-// (including the engine-backed solver comparison, -exp portfolio) and
-// by the benchmarks in bench_test.go. See README.md for an overview.
+// problem, and the plan-executing Repository: a content-addressed
+// storage runtime that commits versions, re-plans through the Engine,
+// and reconstructs any version from the stored blobs and edit scripts
+// (served over HTTP by cmd/dsvd). The paper's evaluation is regenerated
+// by cmd/dsvbench (including the engine-backed solver comparison,
+// -exp portfolio) and by the benchmarks in bench_test.go. See README.md
+// for an overview.
 package repro

@@ -1,13 +1,16 @@
-// gitrepo builds a synthetic repository with real file contents, weighs
-// every delta by an actual Myers diff (the paper's natural-graph
-// construction, Section 7.1), optimizes the storage plan, and then
-// proves the plan works end to end by checking out every version through
-// the stored deltas and comparing the bytes. It also compares against an
-// SVN-style baseline (materialize the head, reach everything else by
-// deltas), the strategy the paper's related work discusses.
+// gitrepo drives the plan-executing storage runtime end to end: it
+// replays a synthetic repository with real file contents through
+// versioning.Repository — every commit weighs its deltas with an actual
+// Myers diff, the portfolio engine periodically re-solves the MSR regime,
+// and the content-addressed store migrates to each winning plan — then
+// proves the runtime works by checking out every version through the
+// stored objects and comparing the bytes. An SVN-style baseline
+// (materialize the head, reach everything else by deltas), the strategy
+// the paper's related work discusses, is shown for contrast.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"reflect"
@@ -16,14 +19,15 @@ import (
 )
 
 func main() {
-	repo := versioning.GenerateRepo("demo-repo", 120, 42)
-	g := repo.Graph
+	ctx := context.Background()
+	src := versioning.GenerateRepo("demo-repo", 120, 42)
+	g := src.Graph
 	head := versioning.NodeID(g.N() - 1)
-	fmt.Printf("repository: %d commits, %d deltas, full materialization %d bytes\n",
+	fmt.Printf("history: %d commits, %d candidate deltas, full materialization %d bytes\n",
 		g.N(), g.M(), g.TotalNodeStorage())
 
-	// SVN-style: store only the newest version, everything else via
-	// deltas (shortest retrieval paths from head).
+	// SVN-style baseline on the abstract graph: store only the newest
+	// version, everything else via deltas.
 	svn, err := versioning.ShortestPathPlan(g, head)
 	if err != nil {
 		log.Fatal(err)
@@ -31,27 +35,45 @@ func main() {
 	fmt.Printf("\nSVN-style (materialize head only):\n")
 	fmt.Printf("  storage %8d  ΣR %8d  maxR %6d\n", svn.Cost.Storage, svn.Cost.SumRetrieval, svn.Cost.MaxRetrieval)
 
-	// Give LMG-All the same storage budget: it may rebalance which
-	// versions are materialized to cut retrieval massively.
-	budget := svn.Cost.Storage * 3 / 2
-	opt, err := versioning.SolveMSR(g, budget, versioning.Options{})
-	if err != nil {
-		log.Fatal(err)
+	// The live runtime: commit the same history into a Repository that
+	// re-plans MSR every 15 commits under an automatic storage budget.
+	// The small LRU forces most checkouts through real delta-path
+	// reconstruction instead of the cache.
+	repo := versioning.NewRepository("demo-repo", versioning.RepositoryOptions{
+		Problem:      versioning.ProblemMSR,
+		ReplanEvery:  15,
+		CacheEntries: 16,
+	})
+	for v := 0; v < g.N(); v++ {
+		if _, err := repo.Commit(ctx, src.Parents[v], src.Contents[v]); err != nil {
+			log.Fatalf("commit %d: %v", v, err)
+		}
 	}
-	fmt.Printf("\nLMG-All under budget %d (1.5× SVN storage):\n", budget)
+	sum := repo.Summary()
+	fmt.Printf("\nRepository after ingest (%s, budget %d, winner %s):\n",
+		sum.Problem, sum.Constraint, sum.Winner)
 	fmt.Printf("  storage %8d  ΣR %8d  maxR %6d  materialized %v\n",
-		opt.Cost.Storage, opt.Cost.SumRetrieval, opt.Cost.MaxRetrieval, opt.Plan.MaterializedNodes())
+		sum.Storage, sum.SumRetrieval, sum.MaxRetrieval, sum.Materialized)
 
-	// End-to-end validation: reconstruct every version through the plan
-	// and compare contents byte for byte.
-	for v := versioning.NodeID(0); int(v) < g.N(); v++ {
-		got, err := repo.Checkout(opt.Plan, v)
-		if err != nil {
-			log.Fatalf("checkout %d: %v", v, err)
+	// End-to-end validation: reconstruct every version from the stored
+	// objects and compare contents byte for byte.
+	ids := make([]versioning.NodeID, g.N())
+	for i := range ids {
+		ids[i] = versioning.NodeID(i)
+	}
+	for i, res := range repo.CheckoutBatch(ctx, ids) {
+		if res.Err != nil {
+			log.Fatalf("checkout %d: %v", i, res.Err)
 		}
-		if !reflect.DeepEqual(got, repo.Contents[v]) {
-			log.Fatalf("checkout %d produced wrong content", v)
+		if !reflect.DeepEqual(res.Lines, src.Contents[i]) {
+			log.Fatalf("checkout %d produced wrong content", i)
 		}
 	}
-	fmt.Printf("\nverified: all %d versions reconstruct exactly under the optimized plan\n", g.N())
+	st := repo.Stats()
+	fmt.Printf("\nverified: all %d versions reconstruct exactly from the store\n", st.Versions)
+	fmt.Printf("store: %d objects (%d blobs, %d deltas), %d bytes vs %d full — %.1fx saved\n",
+		st.Objects, st.Blobs, st.StoredDeltas, st.StoredBytes, st.FullStorage,
+		float64(st.FullStorage)/float64(st.StoredBytes))
+	fmt.Printf("traffic: %d checkouts, %d cache hits, %d delta applies, %d re-plans\n",
+		st.Checkouts, st.CacheHits, st.DeltaApplies, st.Replans)
 }

@@ -159,8 +159,9 @@ func LeetCodeER(p float64, seed int64) *graph.Graph {
 // on every delta, and checkout support.
 type Repo struct {
 	Graph    *graph.Graph
-	Contents [][]string   // lines per version
-	Deltas   []diff.Delta // per edge id
+	Contents [][]string     // lines per version
+	Deltas   []diff.Delta   // per edge id
+	Parents  []graph.NodeID // commit parent per version (graph.None for the root)
 }
 
 // GenerateRepo builds a content-backed repository: commit 0 starts with
@@ -183,6 +184,7 @@ func GenerateRepo(name string, commits int, seed int64) *Repo {
 	}
 	r.Contents = append(r.Contents, base)
 	r.Graph.AddNode(diff.ByteSize(base))
+	r.Parents = append(r.Parents, graph.None)
 	for i := 1; i < commits; i++ {
 		parent := graph.NodeID(i - 1)
 		if rng.Float64() < 0.2 {
@@ -204,6 +206,7 @@ func GenerateRepo(name string, commits int, seed int64) *Repo {
 		}
 		r.Contents = append(r.Contents, content)
 		r.Graph.AddNode(diff.ByteSize(content))
+		r.Parents = append(r.Parents, parent)
 		fwd := diff.Compute(r.Contents[parent], content)
 		rev := diff.Compute(content, r.Contents[parent])
 		r.Graph.AddEdge(parent, graph.NodeID(i), fwd.StorageCost(), fwd.StorageCost())

@@ -183,3 +183,31 @@ func TestEmptySpecs(t *testing.T) {
 		t.Fatal("empty repo produced nodes")
 	}
 }
+
+func TestGenerateRepoParents(t *testing.T) {
+	r := GenerateRepo("parents", 60, 21)
+	if len(r.Parents) != r.Graph.N() {
+		t.Fatalf("Parents covers %d of %d versions", len(r.Parents), r.Graph.N())
+	}
+	if r.Parents[0] != graph.None {
+		t.Fatalf("root parent = %d, want graph.None", r.Parents[0])
+	}
+	for v := 1; v < r.Graph.N(); v++ {
+		p := r.Parents[v]
+		if p < 0 || p >= graph.NodeID(v) {
+			t.Fatalf("version %d has parent %d outside [0, %d)", v, p, v)
+		}
+		// The forward delta parent->v must exist so the history can be
+		// replayed through versioning.Repository.Commit.
+		found := false
+		for _, id := range r.Graph.In(graph.NodeID(v)) {
+			if r.Graph.Edge(id).From == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no delta %d->%d despite Parents", p, v)
+		}
+	}
+}

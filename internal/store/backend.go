@@ -1,0 +1,83 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNotFound reports a missing object.
+var ErrNotFound = errors.New("store: object not found")
+
+// BackendStats summarizes a backend's footprint.
+type BackendStats struct {
+	Objects int
+	Bytes   int64
+}
+
+// Backend is a flat content-addressed object store. Keys are content
+// hashes, so Put is idempotent: writing an existing key is a no-op (the
+// bytes are by construction identical). Implementations must be safe for
+// concurrent use.
+//
+// The in-memory MemBackend is the only implementation today; the
+// interface is the seam where durable backends (disk, S3-style, sharded)
+// plug in without touching the checkout engine.
+type Backend interface {
+	Put(k Key, data []byte) error
+	Get(k Key) ([]byte, error) // ErrNotFound when absent
+	Delete(k Key) error        // deleting an absent key is a no-op
+	Stats() BackendStats
+}
+
+// MemBackend is a mutex-protected in-memory Backend.
+type MemBackend struct {
+	mu      sync.RWMutex
+	objects map[Key][]byte
+	bytes   int64
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{objects: make(map[Key][]byte)}
+}
+
+// Put stores data under k (idempotent).
+func (m *MemBackend) Put(k Key, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.objects[k]; ok {
+		return nil
+	}
+	m.objects[k] = append([]byte(nil), data...)
+	m.bytes += int64(len(data))
+	return nil
+}
+
+// Get returns the object stored under k.
+func (m *MemBackend) Get(k Key) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objects[k]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return data, nil
+}
+
+// Delete removes k if present.
+func (m *MemBackend) Delete(k Key) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if data, ok := m.objects[k]; ok {
+		m.bytes -= int64(len(data))
+		delete(m.objects, k)
+	}
+	return nil
+}
+
+// Stats reports object count and byte footprint.
+func (m *MemBackend) Stats() BackendStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return BackendStats{Objects: len(m.objects), Bytes: m.bytes}
+}

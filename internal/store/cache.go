@@ -1,0 +1,77 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// contentCache is an LRU cache of reconstructed version contents. Version
+// content is immutable once committed, so entries never need invalidation
+// — not even across plan migrations — only eviction.
+type contentCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[graph.NodeID]*list.Element
+}
+
+type cacheItem struct {
+	v     graph.NodeID
+	lines []string
+}
+
+// newContentCache returns a cache holding at most cap versions; nil when
+// cap < 0 (caching disabled — callers treat a nil cache as always-miss).
+func newContentCache(cap int) *contentCache {
+	if cap < 0 {
+		return nil
+	}
+	if cap == 0 {
+		cap = 256
+	}
+	return &contentCache{cap: cap, ll: list.New(), m: make(map[graph.NodeID]*list.Element)}
+}
+
+func (c *contentCache) get(v graph.NodeID) ([]string, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[v]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).lines, true
+}
+
+func (c *contentCache) put(v graph.NodeID, lines []string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[v]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheItem).lines = lines
+		return
+	}
+	c.m[v] = c.ll.PushFront(&cacheItem{v: v, lines: lines})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheItem).v)
+	}
+}
+
+func (c *contentCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,180 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// flightCall is an in-flight reconstruction other goroutines can join.
+type flightCall struct {
+	done  chan struct{}
+	lines []string
+	err   error
+}
+
+// Checkout reconstructs version v under the installed plan: it walks the
+// retrieval forest from v up to the nearest materialized (or cached)
+// ancestor and applies the stored edit scripts forward — the retrieval
+// process the paper's R(v) models. Concurrent checkouts of the same
+// version are deduplicated (singleflight) and results land in the LRU
+// cache. The returned slice is shared with the cache: do not modify it.
+func (s *Store) Checkout(ctx context.Context, v graph.NodeID) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.checkouts.Add(1)
+	if lines, ok := s.cache.get(v); ok {
+		s.cacheHits.Add(1)
+		return lines, nil
+	}
+	for {
+		s.flightMu.Lock()
+		if c, ok := s.flight[v]; ok {
+			s.flightMu.Unlock()
+			select {
+			case <-c.done:
+				if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+					// The leader died of its own cancellation — a
+					// caller-specific outcome. Retry as leader.
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
+					continue
+				}
+				return c.lines, c.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		c := &flightCall{done: make(chan struct{})}
+		s.flight[v] = c
+		s.flightMu.Unlock()
+
+		lines, err := s.reconstruct(ctx, v)
+		if err == nil {
+			s.cache.put(v, lines)
+		}
+		c.lines, c.err = lines, err
+		s.flightMu.Lock()
+		delete(s.flight, v)
+		s.flightMu.Unlock()
+		close(c.done)
+		return lines, err
+	}
+}
+
+// reconstruct rebuilds v's content under the read lock, so a concurrent
+// Install can never garbage-collect the objects mid-walk.
+func (s *Store) reconstruct(ctx context.Context, v graph.NodeID) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(v) < 0 || int(v) >= len(s.parentEdge) {
+		return nil, fmt.Errorf("store: unknown version %d (have %d)", v, len(s.parentEdge))
+	}
+	// Walk up until a cached version or a materialized blob terminates
+	// the path. Cached ancestors shortcut deep chains for free.
+	var path []graph.EdgeID
+	var base []string
+	for x := v; ; {
+		if lines, ok := s.cache.get(x); ok {
+			base = lines
+			break
+		}
+		if k, ok := s.blobKey[x]; ok {
+			payload, err := s.backend.Get(k)
+			if err != nil {
+				return nil, fmt.Errorf("store: blob of version %d: %w", x, err)
+			}
+			base, err = decodeBlob(payload)
+			if err != nil {
+				return nil, fmt.Errorf("store: blob of version %d: %w", x, err)
+			}
+			break
+		}
+		e := s.parentEdge[x]
+		if e == graph.None {
+			return nil, fmt.Errorf("store: version %d not retrievable under installed plan", x)
+		}
+		path = append(path, graph.EdgeID(e))
+		x = s.edgeFrom[graph.EdgeID(e)]
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	// Apply the edit scripts source -> v.
+	for i := len(path) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		k, ok := s.deltaKey[path[i]]
+		if !ok {
+			return nil, fmt.Errorf("store: delta %d not stored", path[i])
+		}
+		payload, err := s.backend.Get(k)
+		if err != nil {
+			return nil, fmt.Errorf("store: delta %d: %w", path[i], err)
+		}
+		d, err := decodeDelta(payload)
+		if err != nil {
+			return nil, fmt.Errorf("store: delta %d: %w", path[i], err)
+		}
+		base, err = d.Apply(base)
+		if err != nil {
+			return nil, fmt.Errorf("store: applying delta %d: %w", path[i], err)
+		}
+		s.deltaApplies.Add(1)
+	}
+	return base, nil
+}
+
+// BatchItem is one CheckoutBatch outcome.
+type BatchItem struct {
+	Lines []string
+	Err   error
+}
+
+// CheckoutBatch reconstructs many versions across a bounded worker pool
+// (workers <= 0 means runtime.GOMAXPROCS). Only min(workers, len(ids))
+// goroutines ever exist, so an arbitrarily large batch cannot exhaust
+// memory. Results are positional; duplicates within a batch are
+// deduplicated through the cache and singleflight layers. A ctx
+// cancellation marks not-yet-dispatched items with ctx.Err().
+func (s *Store) CheckoutBatch(ctx context.Context, ids []graph.NodeID, workers int) []BatchItem {
+	out := make([]BatchItem, len(ids))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i].Lines, out[i].Err = s.Checkout(ctx, ids[i])
+			}
+		}()
+	}
+dispatch:
+	for i := range ids {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			for j := i; j < len(ids); j++ {
+				out[j].Err = ctx.Err()
+			}
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,240 @@
+package store
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/diff"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// countingBackend counts Get calls per key kind for singleflight tests.
+type countingBackend struct {
+	Backend
+	gets atomic.Int64
+}
+
+func (c *countingBackend) Get(k Key) ([]byte, error) {
+	c.gets.Add(1)
+	return c.Backend.Get(k)
+}
+
+// chainStore builds a single materialized root with a delta chain of n
+// further versions, returning the store and all contents.
+func chainStore(t *testing.T, n int, opt Options) (*Store, [][]string) {
+	t.Helper()
+	s := New(opt)
+	contents := [][]string{{"l0", "l1", "l2"}}
+	if err := s.AddMaterialized(0, contents[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		prev := contents[i-1]
+		next := append(append([]string(nil), prev...), "extra")
+		next[0] = "head-" + string(rune('a'+i%26))
+		contents = append(contents, next)
+		if err := s.AddVersion(graph.NodeID(i), graph.NodeID(i-1), graph.EdgeID(i-1),
+			diff.Compute(prev, next), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, contents
+}
+
+func TestCheckoutSingleflightAndCache(t *testing.T) {
+	cb := &countingBackend{Backend: NewMemBackend()}
+	s, contents := chainStore(t, 12, Options{Backend: cb})
+	deep := graph.NodeID(12)
+	// Drop the cache entry AddMaterialized seeded so the whole path must
+	// be fetched.
+	s.cache = newContentCache(64)
+
+	cb.gets.Store(0)
+	const K = 16
+	var wg sync.WaitGroup
+	results := make([][]string, K)
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Checkout(context.Background(), deep)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent Checkout: %v", errs[i])
+		}
+		if !reflect.DeepEqual(results[i], contents[deep]) {
+			t.Fatalf("goroutine %d got wrong content", i)
+		}
+	}
+	// Every goroutine either joined the single flight or hit the cache it
+	// filled: the 13-object path (1 blob + 12 deltas) was fetched once.
+	if got := cb.gets.Load(); got != 13 {
+		t.Fatalf("backend saw %d Gets, want 13 (one reconstruction)", got)
+	}
+	if st := s.Stats(); st.Checkouts != K {
+		t.Fatalf("Stats = %+v, want %d checkouts", st, K)
+	}
+	// A repeat checkout is a pure cache hit.
+	cb.gets.Store(0)
+	if _, err := s.Checkout(context.Background(), deep); err != nil {
+		t.Fatal(err)
+	}
+	if cb.gets.Load() != 0 {
+		t.Fatal("cached checkout touched the backend")
+	}
+}
+
+func TestCheckoutUsesCachedAncestors(t *testing.T) {
+	cb := &countingBackend{Backend: NewMemBackend()}
+	s, contents := chainStore(t, 10, Options{Backend: cb})
+	s.cache = newContentCache(64)
+	mid, tip := graph.NodeID(7), graph.NodeID(10)
+	got, err := s.Checkout(context.Background(), mid)
+	if err != nil || !reflect.DeepEqual(got, contents[mid]) {
+		t.Fatalf("Checkout(mid) = %v, %v", got, err)
+	}
+	cb.gets.Store(0)
+	if _, err := s.Checkout(context.Background(), tip); err != nil {
+		t.Fatal(err)
+	}
+	// The walk stops at the cached version 7: only deltas 8..10 fetched.
+	if gets := cb.gets.Load(); gets != 3 {
+		t.Fatalf("backend saw %d Gets, want 3 (walk shortcut at cached ancestor)", gets)
+	}
+}
+
+func TestCheckoutBatch(t *testing.T) {
+	s, contents := chainStore(t, 20, Options{CacheEntries: 8})
+	ids := make([]graph.NodeID, 0, 2*len(contents))
+	for i := range contents {
+		ids = append(ids, graph.NodeID(i), graph.NodeID(len(contents)-1-i)) // duplicates on purpose
+	}
+	out := s.CheckoutBatch(context.Background(), ids, 4)
+	if len(out) != len(ids) {
+		t.Fatalf("got %d results, want %d", len(out), len(ids))
+	}
+	for i, item := range out {
+		if item.Err != nil {
+			t.Fatalf("item %d: %v", i, item.Err)
+		}
+		if !reflect.DeepEqual(item.Lines, contents[ids[i]]) {
+			t.Fatalf("item %d content mismatch", i)
+		}
+	}
+}
+
+func TestCheckoutBatchCancellation(t *testing.T) {
+	s, contents := chainStore(t, 10, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := s.CheckoutBatch(ctx, []graph.NodeID{0, graph.NodeID(len(contents) - 1)}, 1)
+	for i, item := range out {
+		if item.Err == nil {
+			t.Fatalf("item %d succeeded under cancelled ctx", i)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, contents := chainStore(t, 6, Options{CacheEntries: 2})
+	s.cache = newContentCache(2)
+	for i := range contents {
+		if _, err := s.Checkout(context.Background(), graph.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.cache.len(); n != 2 {
+		t.Fatalf("cache holds %d entries, want cap 2", n)
+	}
+	// Most recent stays, oldest is gone.
+	if _, ok := s.cache.get(graph.NodeID(len(contents) - 1)); !ok {
+		t.Fatal("most recent checkout evicted")
+	}
+	if _, ok := s.cache.get(0); ok {
+		t.Fatal("oldest entry survived a full sweep with cap 2")
+	}
+}
+
+func TestCheckoutErrors(t *testing.T) {
+	s, _ := chainStore(t, 3, Options{CacheEntries: -1})
+	if _, err := s.Checkout(context.Background(), 99); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	if _, err := s.Checkout(context.Background(), -1); err == nil {
+		t.Fatal("negative version accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Checkout(ctx, 3); err == nil {
+		t.Fatal("cancelled reconstruction succeeded")
+	}
+}
+
+func TestConcurrentInstallAndCheckout(t *testing.T) {
+	// Migrations racing checkouts: every checkout must see a consistent
+	// plan (old or new) and correct bytes. Run with -race.
+	g := graph.New("race")
+	var contents [][]string
+	lines := []string{"base"}
+	contents = append(contents, lines)
+	g.AddNode(diff.ByteSize(lines))
+	for i := 1; i < 24; i++ {
+		next := append(append([]string(nil), contents[i-1]...), "l")
+		contents = append(contents, next)
+		fwd := diff.Compute(contents[i-1], next)
+		rev := diff.Compute(next, contents[i-1])
+		g.AddNode(diff.ByteSize(next))
+		g.AddEdge(graph.NodeID(i-1), graph.NodeID(i), fwd.StorageCost(), fwd.StorageCost())
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i-1), rev.StorageCost(), rev.StorageCost())
+	}
+	content := func(v graph.NodeID) ([]string, error) { return contents[v], nil }
+	mst, _, err := plan.MinStorage(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{CacheEntries: 4})
+	if err := s.Install(g, mst, content); err != nil {
+		t.Fatal(err)
+	}
+	plans := []*plan.Plan{plan.MaterializeAll(g), mst}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := graph.NodeID((w*7 + i) % len(contents))
+				got, err := s.Checkout(context.Background(), v)
+				if err != nil {
+					t.Errorf("Checkout(%d): %v", v, err)
+					return
+				}
+				if !reflect.DeepEqual(got, contents[v]) {
+					t.Errorf("Checkout(%d) content mismatch", v)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 6; i++ {
+		if err := s.Install(g, plans[i%2], content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,168 @@
+// Package store is the plan-executing storage runtime: it persists the
+// bytes a solver plan commits to — materialized versions as full blobs,
+// kept deltas as edit scripts — in a content-addressed object store, and
+// reconstructs any version by walking the plan's retrieval path.
+//
+// This is the layer Bhattacherjee et al. [VLDB'15] frame as the live
+// datastore behind the storage/recreation trade-off: the solvers in this
+// repository decide *which* versions to materialize; this package makes
+// that decision operational. Objects are keyed by the SHA-256 of their
+// canonical encoding (the same content-hash idiom as graph.Fingerprint),
+// so identical contents deduplicate across versions and plan migrations
+// are cheap set differences of keys.
+//
+// The Store also serves as the concurrent checkout engine: an LRU cache
+// of reconstructed versions, singleflight deduplication of concurrent
+// identical checkouts, and a bounded-worker CheckoutBatch.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"repro/internal/diff"
+)
+
+// Key is the SHA-256 content address of an encoded object.
+type Key [sha256.Size]byte
+
+// String returns the hex form of k.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// keyOf addresses an encoded object payload.
+func keyOf(payload []byte) Key { return sha256.Sum256(payload) }
+
+// Object type tags. The tag is part of the hashed payload, so a blob and
+// a delta with coincidentally equal bodies never collide.
+const (
+	tagBlob  = 'B' // full version content (line slice)
+	tagDelta = 'D' // diff.Delta edit script
+)
+
+// ErrBadObject reports a payload that does not decode as its tag claims.
+var ErrBadObject = errors.New("store: malformed object")
+
+// encodeBlob canonically serializes full version content: tag, line
+// count, then each line length-prefixed (lines may contain any bytes).
+func encodeBlob(lines []string) []byte {
+	n := 1 + binary.MaxVarintLen64
+	for _, l := range lines {
+		n += binary.MaxVarintLen64 + len(l)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, tagBlob)
+	buf = binary.AppendUvarint(buf, uint64(len(lines)))
+	for _, l := range lines {
+		buf = binary.AppendUvarint(buf, uint64(len(l)))
+		buf = append(buf, l...)
+	}
+	return buf
+}
+
+// decodeBlob reverses encodeBlob.
+func decodeBlob(b []byte) ([]string, error) {
+	if len(b) == 0 || b[0] != tagBlob {
+		return nil, fmt.Errorf("%w: not a blob", ErrBadObject)
+	}
+	b = b[1:]
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var l uint64
+		l, b, err = readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(b)) < l {
+			return nil, fmt.Errorf("%w: truncated line", ErrBadObject)
+		}
+		lines = append(lines, string(b[:l]))
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadObject, len(b))
+	}
+	return lines, nil
+}
+
+// encodeDelta canonically serializes an edit script: tag, command count,
+// then per command its op, count and length-prefixed inserted lines.
+func encodeDelta(d diff.Delta) []byte {
+	buf := []byte{tagDelta}
+	buf = binary.AppendUvarint(buf, uint64(len(d.Cmds)))
+	for _, c := range d.Cmds {
+		buf = append(buf, byte(c.Op))
+		buf = binary.AppendUvarint(buf, uint64(c.N))
+		buf = binary.AppendUvarint(buf, uint64(len(c.Lines)))
+		for _, l := range c.Lines {
+			buf = binary.AppendUvarint(buf, uint64(len(l)))
+			buf = append(buf, l...)
+		}
+	}
+	return buf
+}
+
+// decodeDelta reverses encodeDelta.
+func decodeDelta(b []byte) (diff.Delta, error) {
+	if len(b) == 0 || b[0] != tagDelta {
+		return diff.Delta{}, fmt.Errorf("%w: not a delta", ErrBadObject)
+	}
+	b = b[1:]
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return diff.Delta{}, err
+	}
+	d := diff.Delta{}
+	if n > 0 {
+		d.Cmds = make([]diff.Cmd, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if len(b) == 0 {
+			return diff.Delta{}, fmt.Errorf("%w: truncated command", ErrBadObject)
+		}
+		cmd := diff.Cmd{Op: diff.Op(b[0])}
+		b = b[1:]
+		var cn, nl uint64
+		cn, b, err = readUvarint(b)
+		if err != nil {
+			return diff.Delta{}, err
+		}
+		cmd.N = int(cn)
+		nl, b, err = readUvarint(b)
+		if err != nil {
+			return diff.Delta{}, err
+		}
+		for j := uint64(0); j < nl; j++ {
+			var l uint64
+			l, b, err = readUvarint(b)
+			if err != nil {
+				return diff.Delta{}, err
+			}
+			if uint64(len(b)) < l {
+				return diff.Delta{}, fmt.Errorf("%w: truncated line", ErrBadObject)
+			}
+			cmd.Lines = append(cmd.Lines, string(b[:l]))
+			b = b[l:]
+		}
+		d.Cmds = append(d.Cmds, cmd)
+	}
+	if len(b) != 0 {
+		return diff.Delta{}, fmt.Errorf("%w: %d trailing bytes", ErrBadObject, len(b))
+	}
+	return d, nil
+}
+
+// readUvarint consumes one uvarint from b.
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrBadObject)
+	}
+	return v, b[n:], nil
+}

@@ -1,0 +1,289 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/diff"
+	"repro/internal/graph"
+	"repro/internal/graphalg"
+	"repro/internal/plan"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Backend holds the objects (nil = NewMemBackend()).
+	Backend Backend
+	// CacheEntries bounds the LRU cache of reconstructed versions:
+	// 0 = 256 entries, negative disables caching.
+	CacheEntries int
+}
+
+// Store executes a storage plan: it persists exactly the bytes the plan
+// commits to and reconstructs any version on demand. All methods are safe
+// for concurrent use; Install and the incremental Add* methods may run
+// concurrently with checkouts (checkouts observe either the old or the
+// new plan, never a mix), but callers must serialize Install/Add* calls
+// among themselves, as versioning.Repository does.
+//
+// Returned content slices are shared with the cache: callers must not
+// modify them.
+type Store struct {
+	backend Backend
+	cache   *contentCache
+
+	// mu guards the installed-plan state below. Checkouts hold the read
+	// lock for the whole reconstruction so a migration can never delete
+	// an object out from under them.
+	mu         sync.RWMutex
+	blobKey    map[graph.NodeID]Key // materialized version -> blob object
+	deltaKey   map[graph.EdgeID]Key // stored delta -> delta object
+	edgeFrom   map[graph.EdgeID]graph.NodeID
+	parentEdge []int32 // retrieval forest: edge into v (graph.None for materialized)
+	refs       map[Key]int
+
+	flightMu sync.Mutex
+	flight   map[graph.NodeID]*flightCall
+
+	checkouts    atomic.Int64
+	cacheHits    atomic.Int64
+	deltaApplies atomic.Int64
+}
+
+// Stats summarizes a Store.
+type Stats struct {
+	Objects        int   // objects in the backend
+	Bytes          int64 // backend byte footprint
+	Blobs          int   // materialized versions
+	Deltas         int   // stored edit scripts
+	Versions       int   // versions the installed plan covers
+	CachedVersions int   // reconstructed versions currently in the LRU
+	Checkouts      int64 // Checkout calls served
+	CacheHits      int64 // checkouts answered from the LRU
+	DeltaApplies   int64 // edit scripts applied during reconstructions
+}
+
+// New returns an empty Store.
+func New(opt Options) *Store {
+	b := opt.Backend
+	if b == nil {
+		b = NewMemBackend()
+	}
+	return &Store{
+		backend:  b,
+		cache:    newContentCache(opt.CacheEntries),
+		blobKey:  make(map[graph.NodeID]Key),
+		deltaKey: make(map[graph.EdgeID]Key),
+		edgeFrom: make(map[graph.EdgeID]graph.NodeID),
+		refs:     make(map[Key]int),
+		flight:   make(map[graph.NodeID]*flightCall),
+	}
+}
+
+// Stats reports the store's current footprint and traffic counters.
+func (s *Store) Stats() Stats {
+	bs := s.backend.Stats()
+	s.mu.RLock()
+	blobs, deltas, versions := len(s.blobKey), len(s.deltaKey), len(s.parentEdge)
+	s.mu.RUnlock()
+	return Stats{
+		Objects:        bs.Objects,
+		Bytes:          bs.Bytes,
+		Blobs:          blobs,
+		Deltas:         deltas,
+		Versions:       versions,
+		CachedVersions: s.cache.len(),
+		Checkouts:      s.checkouts.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		DeltaApplies:   s.deltaApplies.Load(),
+	}
+}
+
+// ContentFunc yields the full content of a version, however the caller
+// can produce it (an ingest buffer, or a checkout under the previously
+// installed plan during migration).
+type ContentFunc func(v graph.NodeID) ([]string, error)
+
+// Install switches the store to plan p for graph g: it persists a blob
+// for every materialized version and an edit script for every stored
+// delta (recomputed deterministically from the endpoint contents), then
+// atomically swaps the serving state and garbage-collects objects the new
+// plan no longer references. content is consulted once per needed version
+// (memoized internally).
+//
+// Install validates that p makes every version of g retrievable and
+// refuses to install an infeasible plan, leaving the previous state
+// serving.
+func (s *Store) Install(g *graph.Graph, p *plan.Plan, content ContentFunc) error {
+	if len(p.Materialized) != g.N() || len(p.Stored) != g.M() {
+		return fmt.Errorf("store: plan shape (%d, %d) does not match graph (%d, %d)",
+			len(p.Materialized), len(p.Stored), g.N(), g.M())
+	}
+	// The retrieval forest doubles as the feasibility check: every
+	// version must be reached from the materialized set over stored
+	// deltas.
+	dist, parents := graphalg.Dijkstra(g, p.MaterializedNodes(), graphalg.RetrievalWeight,
+		func(id graph.EdgeID) bool { return p.Stored[id] })
+	for v, d := range dist {
+		if d >= graph.Infinite {
+			return fmt.Errorf("store: plan leaves version %d unretrievable", v)
+		}
+	}
+
+	memo := make(map[graph.NodeID][]string)
+	lines := func(v graph.NodeID) ([]string, error) {
+		if l, ok := memo[v]; ok {
+			return l, nil
+		}
+		l, err := content(v)
+		if err != nil {
+			return nil, fmt.Errorf("store: content of version %d: %w", v, err)
+		}
+		memo[v] = l
+		return l, nil
+	}
+
+	newBlob := make(map[graph.NodeID]Key)
+	newDelta := make(map[graph.EdgeID]Key)
+	newFrom := make(map[graph.EdgeID]graph.NodeID)
+	newRefs := make(map[Key]int)
+	put := func(payload []byte) (Key, error) {
+		k := keyOf(payload)
+		if newRefs[k] == 0 {
+			if err := s.backend.Put(k, payload); err != nil {
+				return Key{}, err
+			}
+		}
+		newRefs[k]++
+		return k, nil
+	}
+	build := func() error {
+		for v := 0; v < g.N(); v++ {
+			if !p.Materialized[v] {
+				continue
+			}
+			l, err := lines(graph.NodeID(v))
+			if err != nil {
+				return err
+			}
+			k, err := put(encodeBlob(l))
+			if err != nil {
+				return err
+			}
+			newBlob[graph.NodeID(v)] = k
+		}
+		for e := 0; e < g.M(); e++ {
+			if !p.Stored[e] {
+				continue
+			}
+			edge := g.Edge(graph.EdgeID(e))
+			a, err := lines(edge.From)
+			if err != nil {
+				return err
+			}
+			b, err := lines(edge.To)
+			if err != nil {
+				return err
+			}
+			k, err := put(encodeDelta(diff.Compute(a, b)))
+			if err != nil {
+				return err
+			}
+			newDelta[graph.EdgeID(e)] = k
+			newFrom[graph.EdgeID(e)] = edge.From
+		}
+		return nil
+	}
+	if err := build(); err != nil {
+		// Roll back objects this Install wrote that the serving plan does
+		// not reference, so a failed migration leaves no orphans.
+		s.mu.RLock()
+		cur := s.refs
+		for k := range newRefs {
+			if cur[k] == 0 {
+				_ = s.backend.Delete(k)
+			}
+		}
+		s.mu.RUnlock()
+		return err
+	}
+
+	s.mu.Lock()
+	oldRefs := s.refs
+	s.blobKey, s.deltaKey, s.edgeFrom = newBlob, newDelta, newFrom
+	s.parentEdge = parents
+	s.refs = newRefs
+	s.mu.Unlock()
+
+	// Garbage-collect objects only the old plan referenced. New objects
+	// were written before the swap and old objects are deleted after it,
+	// so checkouts (which hold the read lock across reconstruction) never
+	// observe a missing object. The new plan is serving at this point, so
+	// a backend deletion failure is not an Install failure: at worst an
+	// unreferenced object lingers.
+	for k := range oldRefs {
+		if newRefs[k] == 0 {
+			_ = s.backend.Delete(k)
+		}
+	}
+	return nil
+}
+
+// AddMaterialized extends the installed plan with version v stored in
+// full — the incremental form of committing a root (or any version the
+// caller chooses to pin) between re-plans. v must be the next dense id.
+func (s *Store) AddMaterialized(v graph.NodeID, lines []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Validate before Put so a rejected call leaves no orphan object.
+	if int(v) != len(s.parentEdge) {
+		return fmt.Errorf("store: AddMaterialized(%d) out of order, next id is %d", v, len(s.parentEdge))
+	}
+	payload := encodeBlob(lines)
+	k := keyOf(payload)
+	if err := s.backend.Put(k, payload); err != nil {
+		return err
+	}
+	s.parentEdge = append(s.parentEdge, graph.None)
+	s.blobKey[v] = k
+	s.refs[k]++
+	if lines != nil {
+		s.cache.put(v, lines)
+	}
+	return nil
+}
+
+// AddVersion extends the installed plan with version v reconstructed from
+// parent via the new stored edge e carrying edit script d — the
+// incremental ingest path between re-plans: the new version rides a
+// single appended delta until the next full re-plan rebalances the plan.
+// v must be the next dense id and parent must already be covered. lines,
+// when non-nil, is v's full content and seeds the checkout cache.
+func (s *Store) AddVersion(v, parent graph.NodeID, e graph.EdgeID, d diff.Delta, lines []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Validate before Put so a rejected call leaves no orphan object.
+	if int(v) != len(s.parentEdge) {
+		return fmt.Errorf("store: AddVersion(%d) out of order, next id is %d", v, len(s.parentEdge))
+	}
+	if int(parent) >= len(s.parentEdge) {
+		return fmt.Errorf("store: AddVersion(%d) from unknown parent %d", v, parent)
+	}
+	if _, dup := s.deltaKey[e]; dup {
+		return fmt.Errorf("store: delta %d already stored", e)
+	}
+	payload := encodeDelta(d)
+	k := keyOf(payload)
+	if err := s.backend.Put(k, payload); err != nil {
+		return err
+	}
+	s.parentEdge = append(s.parentEdge, int32(e))
+	s.deltaKey[e] = k
+	s.edgeFrom[e] = parent
+	s.refs[k]++
+	if lines != nil {
+		s.cache.put(v, lines)
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/diff"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/repogen"
+)
+
+func TestBlobCodecRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{},
+		{""},
+		{"", "", ""},
+		{"hello", "world"},
+		{"line with \n newline", "tabs\tand\x00nuls", "ünïcödé — δ"},
+	}
+	for _, lines := range cases {
+		got, err := decodeBlob(encodeBlob(lines))
+		if err != nil {
+			t.Fatalf("decodeBlob(%q): %v", lines, err)
+		}
+		if len(got) != len(lines) {
+			t.Fatalf("round-trip %q -> %q", lines, got)
+		}
+		for i := range lines {
+			if got[i] != lines[i] {
+				t.Fatalf("round-trip %q -> %q", lines, got)
+			}
+		}
+	}
+}
+
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	a := []string{"a", "b", "c", "d"}
+	b := []string{"a", "x", "c", "y", "z"}
+	d := diff.Compute(a, b)
+	got, err := decodeDelta(encodeDelta(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round-trip %+v -> %+v", d, got)
+	}
+	applied, err := got.Apply(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(applied, b) {
+		t.Fatalf("decoded delta applies to %q, want %q", applied, b)
+	}
+	if _, err := decodeDelta(encodeBlob([]string{"x"})); err == nil {
+		t.Fatal("decodeDelta accepted a blob payload")
+	}
+	if _, err := decodeBlob(encodeDelta(d)); err == nil {
+		t.Fatal("decodeBlob accepted a delta payload")
+	}
+	if _, err := decodeBlob(encodeBlob([]string{"x"})[:3]); err == nil {
+		t.Fatal("decodeBlob accepted a truncated payload")
+	}
+}
+
+func TestMemBackend(t *testing.T) {
+	m := NewMemBackend()
+	k := keyOf([]byte("payload"))
+	if _, err := m.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing: %v, want ErrNotFound", err)
+	}
+	if err := m.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(k, []byte("payload")); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	got, err := m.Get(k)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if st := m.Stats(); st.Objects != 1 || st.Bytes != 7 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if err := m.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(k); err != nil { // absent delete is a no-op
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Objects != 0 || st.Bytes != 0 {
+		t.Fatalf("Stats after delete = %+v", st)
+	}
+}
+
+// testRepo builds a content-backed repository and a content func over it.
+func testRepo(t *testing.T, commits int, seed int64) (*repogen.Repo, ContentFunc) {
+	t.Helper()
+	r := repogen.GenerateRepo("store-test", commits, seed)
+	return r, func(v graph.NodeID) ([]string, error) { return r.Contents[v], nil }
+}
+
+// checkAll asserts every version reconstructs byte for byte.
+func checkAll(t *testing.T, s *Store, r *repogen.Repo) {
+	t.Helper()
+	for v := 0; v < r.Graph.N(); v++ {
+		got, err := s.Checkout(t.Context(), graph.NodeID(v))
+		if err != nil {
+			t.Fatalf("Checkout(%d): %v", v, err)
+		}
+		if !reflect.DeepEqual(got, r.Contents[v]) {
+			t.Fatalf("Checkout(%d) content mismatch", v)
+		}
+	}
+}
+
+func TestInstallCheckoutRoundTrip(t *testing.T) {
+	r, content := testRepo(t, 40, 7)
+	s := New(Options{})
+	p, _, err := plan.MinStorage(r.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install(r.Graph, p, content); err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, s, r)
+	st := s.Stats()
+	if st.Blobs == 0 || st.Deltas == 0 || st.Versions != r.Graph.N() {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestInstallRejectsInfeasiblePlan(t *testing.T) {
+	r, content := testRepo(t, 5, 3)
+	s := New(Options{})
+	if err := s.Install(r.Graph, plan.New(r.Graph), content); err == nil {
+		t.Fatal("Install accepted a plan with no materialized versions")
+	}
+	empty := graph.New("other")
+	if err := s.Install(empty, plan.MaterializeAll(r.Graph), content); err == nil {
+		t.Fatal("Install accepted a shape-mismatched plan")
+	}
+}
+
+func TestMigrationGarbageCollects(t *testing.T) {
+	r, content := testRepo(t, 30, 11)
+	s := New(Options{})
+	mst, _, err := plan.MinStorage(r.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install(r.Graph, mst, content); err != nil {
+		t.Fatal(err)
+	}
+	withDeltas := s.Stats()
+	if withDeltas.Deltas == 0 {
+		t.Fatal("MST plan stored no deltas")
+	}
+
+	// Migrate to materialize-all, feeding content from the store itself
+	// (the live-migration path). All delta objects must be collected.
+	if err := s.Install(r.Graph, plan.MaterializeAll(r.Graph), func(v graph.NodeID) ([]string, error) {
+		return s.Checkout(t.Context(), v)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, s, r)
+	full := s.Stats()
+	if full.Deltas != 0 {
+		t.Fatalf("materialize-all left %d delta objects", full.Deltas)
+	}
+	distinct := make(map[Key]bool)
+	for _, c := range r.Contents {
+		distinct[keyOf(encodeBlob(c))] = true
+	}
+	if full.Objects != len(distinct) {
+		t.Fatalf("backend holds %d objects, want %d distinct blobs", full.Objects, len(distinct))
+	}
+
+	// And back again: blobs the MST plan does not materialize must go.
+	if err := s.Install(r.Graph, mst, func(v graph.NodeID) ([]string, error) {
+		return s.Checkout(t.Context(), v)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, s, r)
+	back := s.Stats()
+	if back.Blobs != withDeltas.Blobs || back.Deltas != withDeltas.Deltas {
+		t.Fatalf("after round-trip migration Stats = %+v, want blobs/deltas %d/%d",
+			back, withDeltas.Blobs, withDeltas.Deltas)
+	}
+}
+
+func TestContentDeduplication(t *testing.T) {
+	// Two versions with identical content share one blob object.
+	g := graph.New("dedup")
+	lines := []string{"same", "content"}
+	g.AddNode(diff.ByteSize(lines))
+	g.AddNode(diff.ByteSize(lines))
+	p := plan.MaterializeAll(g)
+	s := New(Options{})
+	if err := s.Install(g, p, func(graph.NodeID) ([]string, error) { return lines, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Objects != 1 || st.Blobs != 2 {
+		t.Fatalf("Stats = %+v, want 1 object backing 2 blobs", st)
+	}
+}
+
+func TestIncrementalAdds(t *testing.T) {
+	s := New(Options{CacheEntries: -1})
+	v0 := []string{"alpha", "beta"}
+	v1 := []string{"alpha", "gamma"}
+	v2 := []string{"alpha", "gamma", "delta"}
+	if err := s.AddMaterialized(0, v0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVersion(1, 0, 0, diff.Compute(v0, v1), v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVersion(2, 1, 2, diff.Compute(v1, v2), v2); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range [][]string{v0, v1, v2} {
+		got, err := s.Checkout(t.Context(), graph.NodeID(i))
+		if err != nil {
+			t.Fatalf("Checkout(%d): %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Checkout(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if err := s.AddMaterialized(5, v0); err == nil {
+		t.Fatal("out-of-order AddMaterialized accepted")
+	}
+	if err := s.AddVersion(3, 9, 3, diff.Delta{}, nil); err == nil {
+		t.Fatal("AddVersion from unknown parent accepted")
+	}
+	if err := s.AddVersion(3, 0, 0, diff.Delta{}, v0); err == nil {
+		t.Fatal("AddVersion reusing a stored delta id accepted")
+	}
+}

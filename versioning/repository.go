@@ -1,0 +1,369 @@
+package versioning
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/store"
+)
+
+// NoParent commits a version with no parent (the first commit, or an
+// independent root); such versions are materialized until the next
+// re-plan reconsiders them.
+const NoParent NodeID = graph.None
+
+// RepositoryOptions configures a Repository.
+type RepositoryOptions struct {
+	// Problem is the regime re-planning optimizes (default ProblemMSR).
+	Problem Problem
+	// Constraint is the regime's bound: a storage budget for MSR/MMR, a
+	// retrieval bound for BSR/BMR. 0 derives a bound automatically from
+	// the minimum-storage plan at each re-plan: storage budgets get
+	// AutoFactor × the minimum feasible storage; retrieval bounds get the
+	// minimum-storage plan's own retrieval, which is always achievable.
+	Constraint Cost
+	// AutoFactor is the slack multiplier for automatic storage budgets
+	// (default 2).
+	AutoFactor float64
+	// ReplanEvery re-plans (and migrates the store) every k commits:
+	// 0 = 8, negative = only on explicit Replan calls. Between re-plans a
+	// new version rides a single appended delta from its parent.
+	ReplanEvery int
+	// CacheEntries bounds the LRU cache of reconstructed versions
+	// (0 = 256, negative disables).
+	CacheEntries int
+	// Workers bounds concurrent reconstructions in CheckoutBatch
+	// (0 = runtime.GOMAXPROCS).
+	Workers int
+	// Engine is the portfolio engine used for re-planning. nil builds one
+	// from EngineOptions; if those are zero too, the serving defaults
+	// apply (5s solver timeout, ILP disabled).
+	Engine *Engine
+	// EngineOptions configures the engine built when Engine is nil.
+	EngineOptions EngineOptions
+}
+
+// Repository is the plan-executing storage runtime: a live datastore in
+// the sense of Bhattacherjee et al. [VLDB'15] whose storage layout is
+// continuously optimized by the paper's solvers. Commit appends a version
+// whose delta costs come from real Myers edit scripts; every ReplanEvery
+// commits the portfolio Engine re-solves the configured regime and the
+// content-addressed store migrates to the winning plan — materialized
+// versions persisted in full, everything else as stored edit scripts.
+// Checkout reconstructs any version by walking the plan's retrieval path,
+// with LRU caching, singleflight deduplication and batch support.
+//
+// Commit/Replan are serialized internally; Checkout and CheckoutBatch may
+// run concurrently with them and with each other. Returned and committed
+// line slices are shared with the cache: callers must not modify them.
+type Repository struct {
+	opt RepositoryOptions
+	eng *Engine
+	st  *store.Store
+
+	mu          sync.Mutex // guards the fields below and serializes commits/replans
+	g           *Graph
+	plan        *Plan
+	planCost    PlanCost
+	retr        []Cost // R(v) per version under the current plan
+	constraint  Cost   // bound resolved at the last re-plan (Summary shows it)
+	winner      string
+	replans     int
+	sinceReplan int
+	replanErr   error
+}
+
+// NewRepository returns an empty repository named name.
+func NewRepository(name string, opt RepositoryOptions) *Repository {
+	if opt.AutoFactor <= 0 {
+		opt.AutoFactor = 2
+	}
+	if opt.ReplanEvery == 0 {
+		opt.ReplanEvery = 8
+	}
+	eng := opt.Engine
+	if eng == nil {
+		eo := opt.EngineOptions
+		if eo == (EngineOptions{}) {
+			eo = EngineOptions{SolverTimeout: 5 * time.Second, DisableILP: true}
+		}
+		eng = NewEngine(eo)
+	}
+	return &Repository{
+		opt:        opt,
+		eng:        eng,
+		st:         store.New(store.Options{CacheEntries: opt.CacheEntries}),
+		g:          NewGraph(name),
+		plan:       plan.New(NewGraph(name)),
+		planCost:   PlanCost{Feasible: true},
+		constraint: opt.Constraint,
+	}
+}
+
+// Versions reports the number of committed versions.
+func (r *Repository) Versions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.g.N()
+}
+
+// Commit appends a new version with the given full content. parent is the
+// version it derives from (NoParent for a root, which is materialized
+// until the next re-plan). The delta to and from the parent is computed
+// with a real Myers diff and weighs the new graph edges; the version is
+// immediately retrievable. Every ReplanEvery commits the repository
+// re-plans under ctx and migrates the store to the new plan; a re-plan
+// failure is not fatal — the previous plan keeps serving and the error is
+// reported by Stats.
+func (r *Repository) Commit(ctx context.Context, parent NodeID, lines []string) (NodeID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var v NodeID
+	if parent == NoParent {
+		v = r.g.AddNode(diff.ByteSize(lines))
+		r.plan.Materialized = append(r.plan.Materialized, true)
+		if err := r.st.AddMaterialized(v, lines); err != nil {
+			return 0, err
+		}
+		// Incremental cost bookkeeping: a materialized root adds its own
+		// storage and retrieves for free.
+		r.retr = append(r.retr, 0)
+		r.planCost.Storage += r.g.NodeStorage(v)
+	} else {
+		if int(parent) < 0 || int(parent) >= r.g.N() {
+			return 0, fmt.Errorf("versioning: commit parent %d does not exist (have %d versions)", parent, r.g.N())
+		}
+		parentLines, err := r.st.Checkout(ctx, parent)
+		if err != nil {
+			return 0, fmt.Errorf("versioning: reconstructing commit parent %d: %w", parent, err)
+		}
+		fwd := diff.Compute(parentLines, lines)
+		rev := diff.Compute(lines, parentLines)
+		v = r.g.AddNode(diff.ByteSize(lines))
+		fe := r.g.AddEdge(parent, v, fwd.StorageCost(), fwd.StorageCost())
+		re := r.g.AddEdge(v, parent, rev.StorageCost(), rev.StorageCost())
+		r.plan.Materialized = append(r.plan.Materialized, false)
+		r.plan.Stored = append(r.plan.Stored, true, false)
+		if fe != EdgeID(len(r.plan.Stored))-2 || re != EdgeID(len(r.plan.Stored))-1 {
+			return 0, fmt.Errorf("versioning: internal edge id drift (%d, %d)", fe, re)
+		}
+		if err := r.st.AddVersion(v, parent, fe, fwd, lines); err != nil {
+			return 0, err
+		}
+		// Incremental cost bookkeeping: the only stored path into v is the
+		// appended parent delta, so R(v) = R(parent) + r_fwd exactly.
+		rv := r.retr[parent] + r.g.Edge(fe).Retrieval
+		r.retr = append(r.retr, rv)
+		r.planCost.Storage += r.g.Edge(fe).Storage
+		r.planCost.SumRetrieval += rv
+		if rv > r.planCost.MaxRetrieval {
+			r.planCost.MaxRetrieval = rv
+		}
+	}
+	r.sinceReplan++
+	if r.opt.ReplanEvery > 0 && r.sinceReplan >= r.opt.ReplanEvery {
+		r.replanLocked(ctx)
+	}
+	return v, nil
+}
+
+// Checkout reconstructs version v's full content under the current plan.
+func (r *Repository) Checkout(ctx context.Context, v NodeID) ([]string, error) {
+	return r.st.Checkout(ctx, v)
+}
+
+// CheckoutResult is one CheckoutBatch outcome.
+type CheckoutResult struct {
+	Lines []string
+	Err   error
+}
+
+// CheckoutBatch reconstructs many versions across a bounded worker pool;
+// results are positional and duplicates are deduplicated through the
+// cache and singleflight layers.
+func (r *Repository) CheckoutBatch(ctx context.Context, ids []NodeID) []CheckoutResult {
+	items := r.st.CheckoutBatch(ctx, ids, r.opt.Workers)
+	out := make([]CheckoutResult, len(items))
+	for i, it := range items {
+		out[i] = CheckoutResult{Lines: it.Lines, Err: it.Err}
+	}
+	return out
+}
+
+// Replan forces a portfolio re-solve of the configured regime and
+// migrates the store to the winning plan.
+func (r *Repository) Replan(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replanLocked(ctx)
+	return r.replanErr
+}
+
+// replanLocked re-solves and migrates; r.mu is held. Failures leave the
+// current plan serving and are recorded for Stats.
+func (r *Repository) replanLocked(ctx context.Context) {
+	r.sinceReplan = 0
+	if r.g.N() == 0 {
+		r.replanErr = nil
+		return
+	}
+	constraint, err := r.constraintLocked()
+	if err != nil {
+		r.replanErr = err
+		return
+	}
+	res, err := r.eng.Solve(ctx, r.g, r.opt.Problem, constraint)
+	if err != nil {
+		r.replanErr = fmt.Errorf("versioning: re-plan %s(%d): %w", r.opt.Problem, constraint, err)
+		return
+	}
+	memo := make(map[NodeID][]string, r.g.N())
+	content := func(v NodeID) ([]string, error) {
+		if l, ok := memo[v]; ok {
+			return l, nil
+		}
+		l, err := r.st.Checkout(ctx, v)
+		if err != nil {
+			return nil, err
+		}
+		memo[v] = l
+		return l, nil
+	}
+	if err := r.st.Install(r.g, res.Solution.Plan, content); err != nil {
+		r.replanErr = fmt.Errorf("versioning: migrating to new plan: %w", err)
+		return
+	}
+	r.plan = res.Solution.Plan
+	r.planCost = res.Solution.Cost
+	r.retr = r.plan.Retrievals(r.g)
+	r.constraint = constraint
+	r.winner = res.Winner
+	r.replans++
+	r.replanErr = nil
+}
+
+// constraintLocked resolves the regime constraint: the configured bound,
+// or an automatic one derived from the minimum-storage plan.
+func (r *Repository) constraintLocked() (Cost, error) {
+	if r.opt.Constraint != 0 {
+		return r.opt.Constraint, nil
+	}
+	switch r.opt.Problem {
+	case ProblemMST, ProblemSPT:
+		return 0, nil // unconstrained problems
+	}
+	mst, err := core.MST(r.g)
+	if err != nil {
+		return 0, fmt.Errorf("versioning: deriving auto constraint: %w", err)
+	}
+	switch r.opt.Problem {
+	case ProblemMSR, ProblemMMR:
+		return Cost(float64(mst.Cost.Storage) * r.opt.AutoFactor), nil
+	case ProblemBSR:
+		return mst.Cost.SumRetrieval, nil
+	case ProblemBMR:
+		return mst.Cost.MaxRetrieval, nil
+	default:
+		return 0, fmt.Errorf("versioning: no auto constraint for %s", r.opt.Problem)
+	}
+}
+
+// Plan returns a copy of the currently installed plan.
+func (r *Repository) Plan() *Plan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.plan.Clone()
+}
+
+// Summary renders the currently installed plan as the shared PlanSummary
+// JSON shape (also served by dsvd's /plan endpoint). It is built from
+// the repository's incrementally maintained cost state — no solver or
+// shortest-path work runs, so polling it is cheap. The Constraint field
+// is the bound resolved at the last re-plan (0 before the first one when
+// auto-derived).
+func (r *Repository) Summary() PlanSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := PlanSummary{
+		Graph:        r.g.Name,
+		Problem:      r.opt.Problem.String(),
+		Constraint:   r.constraint,
+		Winner:       r.winner,
+		Storage:      r.planCost.Storage,
+		SumRetrieval: r.planCost.SumRetrieval,
+		MaxRetrieval: r.planCost.MaxRetrieval,
+		Feasible:     r.planCost.Feasible,
+		Versions:     r.g.N(),
+		Deltas:       r.g.M(),
+		Materialized: make([]NodeID, 0, len(r.plan.Materialized)),
+		StoredDeltas: make([]EdgeID, 0, len(r.plan.Stored)),
+	}
+	s.Materialized = append(s.Materialized, r.plan.MaterializedNodes()...)
+	s.StoredDeltas = append(s.StoredDeltas, r.plan.StoredEdges()...)
+	return s
+}
+
+// RepositoryStats snapshots a repository's serving state.
+type RepositoryStats struct {
+	Name     string `json:"name"`
+	Versions int    `json:"versions"`
+	Deltas   int    `json:"deltas"` // graph edges (candidate deltas)
+
+	Problem      string `json:"problem"`
+	Storage      Cost   `json:"storage"`
+	SumRetrieval Cost   `json:"sum_retrieval"`
+	MaxRetrieval Cost   `json:"max_retrieval"`
+	FullStorage  Cost   `json:"full_storage"` // materialize-everything baseline
+
+	Replans        int    `json:"replans"`
+	Winner         string `json:"winner,omitempty"`
+	ReplanError    string `json:"replan_error,omitempty"`
+	CommitsPending int    `json:"commits_pending"` // commits since the last re-plan
+
+	Objects        int   `json:"objects"` // content-addressed objects in the backend
+	StoredBytes    int64 `json:"stored_bytes"`
+	Blobs          int   `json:"blobs"`
+	StoredDeltas   int   `json:"stored_deltas"`
+	CachedVersions int   `json:"cached_versions"`
+	Checkouts      int64 `json:"checkouts"`
+	CacheHits      int64 `json:"cache_hits"`
+	DeltaApplies   int64 `json:"delta_applies"`
+}
+
+// Stats reports the repository's current state and traffic counters.
+func (r *Repository) Stats() RepositoryStats {
+	ss := r.st.Stats()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RepositoryStats{
+		Name:           r.g.Name,
+		Versions:       r.g.N(),
+		Deltas:         r.g.M(),
+		Problem:        r.opt.Problem.String(),
+		Storage:        r.planCost.Storage,
+		SumRetrieval:   r.planCost.SumRetrieval,
+		MaxRetrieval:   r.planCost.MaxRetrieval,
+		FullStorage:    r.g.TotalNodeStorage(),
+		Replans:        r.replans,
+		Winner:         r.winner,
+		CommitsPending: r.sinceReplan,
+		Objects:        ss.Objects,
+		StoredBytes:    ss.Bytes,
+		Blobs:          ss.Blobs,
+		StoredDeltas:   ss.Deltas,
+		CachedVersions: ss.CachedVersions,
+		Checkouts:      ss.Checkouts,
+		CacheHits:      ss.CacheHits,
+		DeltaApplies:   ss.DeltaApplies,
+	}
+	if r.replanErr != nil {
+		st.ReplanError = r.replanErr.Error()
+	}
+	return st
+}

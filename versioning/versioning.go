@@ -33,6 +33,14 @@
 // per-solver timeouts, returns the best feasible solution plus a
 // per-solver report, memoizes results by graph fingerprint, and batch
 // solves across a bounded worker pool (see NewEngine).
+//
+// The Repository executes plans instead of just computing them: a
+// content-addressed storage runtime that commits real version contents
+// (deltas weighed by Myers edit scripts), periodically re-plans through
+// the Engine, migrates its stored objects to each winning plan, and
+// reconstructs any version on Checkout — with LRU caching, singleflight
+// deduplication and batch support (see NewRepository, and cmd/dsvd for
+// the HTTP serving daemon).
 package versioning
 
 import (
