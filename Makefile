@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz serve
+.PHONY: all build vet test race bench fuzz serve serve-durable
 
 all: vet build test
 
@@ -25,3 +25,8 @@ fuzz:
 # Run the dsvd serving daemon with a small preloaded demo history.
 serve:
 	$(GO) run ./cmd/dsvd -addr :8080 -demo 40
+
+# Run dsvd on the durable disk backend: kill it, run again, and the
+# committed history survives.
+serve-durable:
+	$(GO) run ./cmd/dsvd -addr :8080 -demo 40 -data-dir ./dsvd-data

@@ -12,7 +12,9 @@ package repro_test
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diff"
@@ -24,8 +26,10 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/lmg"
 	"repro/internal/mp"
+	"repro/internal/plan"
 	"repro/internal/portfolio"
 	"repro/internal/repogen"
+	"repro/internal/store"
 	"repro/internal/treewidth"
 	"repro/versioning"
 )
@@ -412,14 +416,19 @@ func BenchmarkGitPackWindow(b *testing.B) {
 // benchRepository ingests a 160-commit content-backed history into a
 // plan-executing Repository (MSR regime, re-plan every 40 commits).
 func benchRepository(b *testing.B, cacheEntries int) (*versioning.Repository, *repogen.Repo) {
+	return benchRepositoryOpt(b, versioning.RepositoryOptions{CacheEntries: cacheEntries})
+}
+
+func benchRepositoryOpt(b *testing.B, opt versioning.RepositoryOptions) (*versioning.Repository, *repogen.Repo) {
 	b.Helper()
 	src := repogen.GenerateRepo("bench-repo", 160, 7)
-	repo := versioning.NewRepository("bench-repo", versioning.RepositoryOptions{
-		Problem:       versioning.ProblemMSR,
-		ReplanEvery:   40,
-		CacheEntries:  cacheEntries,
-		EngineOptions: versioning.EngineOptions{DisableILP: true},
-	})
+	opt.Problem = versioning.ProblemMSR
+	opt.ReplanEvery = 40
+	opt.EngineOptions = versioning.EngineOptions{DisableILP: true}
+	repo, err := versioning.Open("bench-repo", opt)
+	if err != nil {
+		b.Fatal(err)
+	}
 	ctx := context.Background()
 	for v := 0; v < src.Graph.N(); v++ {
 		if _, err := repo.Commit(ctx, src.Parents[v], src.Contents[v]); err != nil {
@@ -466,6 +475,185 @@ func BenchmarkRepositoryCheckout_CacheHit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchCheckoutParallel is the serving-daemon contention profile:
+// b.RunParallel goroutines checking out random versions with Stats polls
+// riding along. A small LRU keeps most checkouts on the reconstruction
+// path, so the numbers expose lock contention, not cache hits.
+func benchCheckoutParallel(b *testing.B, opt versioning.RepositoryOptions) {
+	opt.CacheEntries = 16
+	repo, src := benchRepositoryOpt(b, opt)
+	ctx := context.Background()
+	n := src.Graph.N()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(99))
+		for pb.Next() {
+			v := versioning.NodeID(rng.Intn(n))
+			if _, err := repo.Checkout(ctx, v); err != nil {
+				b.Fatal(err)
+			}
+			_ = repo.Stats()
+		}
+	})
+}
+
+// BenchmarkRepositoryCheckoutParallel runs on the default sharded
+// in-memory backend with the lock-split read path.
+func BenchmarkRepositoryCheckoutParallel(b *testing.B) {
+	benchCheckoutParallel(b, versioning.RepositoryOptions{})
+}
+
+// BenchmarkRepositoryCheckoutParallel_SingleMutex is the contention
+// baseline: the same traffic on the single-mutex MemBackend.
+func BenchmarkRepositoryCheckoutParallel_SingleMutex(b *testing.B) {
+	benchCheckoutParallel(b, versioning.RepositoryOptions{Backend: store.NewMemBackend()})
+}
+
+// BenchmarkRepositoryCheckoutParallel_Disk runs the same traffic on the
+// durable disk backend (lazy reads + commit journal).
+func BenchmarkRepositoryCheckoutParallel_Disk(b *testing.B) {
+	benchCheckoutParallel(b, versioning.RepositoryOptions{DataDir: b.TempDir()})
+}
+
+// slowBackend models a high-latency store (networked disk, S3): every
+// object read costs latency but no CPU, so even a single-core host
+// overlaps concurrent reads — unless a lock is held across the I/O.
+type slowBackend struct {
+	store.Backend
+	latency time.Duration
+}
+
+func (s slowBackend) Get(k store.Key) ([]byte, error) {
+	time.Sleep(s.latency)
+	return s.Backend.Get(k)
+}
+
+// BenchmarkStoreCheckoutDuringMigration_SlowBackend measures checkout
+// latency on a 500µs-per-read backend while plan migrations run
+// continuously. When reconstruction holds the store lock across backend
+// reads, every migration's metadata swap must drain multi-read walks and
+// queues later checkouts behind itself (writer-preferring RWMutex); with
+// the snapshot-then-fetch checkout path no lock spans I/O, so migrations
+// swap in microseconds and checkouts never stall behind them.
+func BenchmarkStoreCheckoutDuringMigration_SlowBackend(b *testing.B) {
+	g := graph.New("slow")
+	var contents [][]string
+	lines := []string{"base"}
+	contents = append(contents, lines)
+	g.AddNode(diff.ByteSize(lines))
+	const versions = 24
+	for i := 1; i < versions; i++ {
+		next := append(append([]string(nil), contents[i-1]...), "l")
+		contents = append(contents, next)
+		fwd := diff.Compute(contents[i-1], next)
+		rev := diff.Compute(next, contents[i-1])
+		g.AddNode(diff.ByteSize(next))
+		g.AddEdge(graph.NodeID(i-1), graph.NodeID(i), fwd.StorageCost(), fwd.StorageCost())
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i-1), rev.StorageCost(), rev.StorageCost())
+	}
+	content := func(v graph.NodeID) ([]string, error) { return contents[v], nil }
+	mst, _, err := plan.MinStorage(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := store.New(store.Options{
+		Backend:      slowBackend{Backend: store.NewMemBackend(), latency: 500 * time.Microsecond},
+		CacheEntries: -1, // force every checkout onto the reconstruction path
+	})
+	if err := s.Install(g, mst, content); err != nil {
+		b.Fatal(err)
+	}
+	plans := []*plan.Plan{plan.MaterializeAll(g), mst}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Install(g, plans[i%2], content); err != nil {
+				b.Error(err)
+				return
+			}
+			time.Sleep(10 * time.Millisecond) // a realistic re-plan cadence
+		}
+	}()
+	var mu sync.Mutex
+	var maxNs int64
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(11))
+		var localMax int64
+		for pb.Next() {
+			v := graph.NodeID(rng.Intn(versions))
+			t0 := time.Now()
+			if _, err := s.Checkout(ctx, v); err != nil {
+				b.Fatal(err)
+			}
+			if d := time.Since(t0).Nanoseconds(); d > localMax {
+				localMax = d
+			}
+		}
+		mu.Lock()
+		if localMax > maxNs {
+			maxNs = localMax
+		}
+		mu.Unlock()
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(maxNs), "max-ns")
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkRepositoryStatsDuringReplan measures read-path latency while
+// re-plans and store migrations run continuously in the background — the
+// case the lock-split Repository exists for. Under the old single mutex
+// every Stats/Summary call blocked for a whole solver race plus
+// migration; with commitMu/stateMu split they answer from the
+// incrementally maintained state in nanoseconds.
+func BenchmarkRepositoryStatsDuringReplan(b *testing.B) {
+	repo, _ := benchRepository(b, 64)
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := repo.Replan(ctx); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	// The mean hides the blocking: report the worst single poll too.
+	var maxNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		_ = repo.Stats()
+		_ = repo.Summary()
+		if d := time.Since(t0).Nanoseconds(); d > maxNs {
+			maxNs = d
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(maxNs), "max-ns")
+	close(stop)
+	wg.Wait()
 }
 
 // BenchmarkRepositoryCheckoutBatch measures reconstructing the whole

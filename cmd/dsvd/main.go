@@ -13,17 +13,27 @@
 //	curl -s localhost:8080/plan
 //	curl -s localhost:8080/stats
 //
+// Storage is pluggable: by default versions live in a sharded in-memory
+// backend (-shards shards); with -data-dir the daemon runs on a durable
+// disk backend plus a write-ahead commit journal, and a restart replays
+// the journal so the full committed history survives a kill. SIGINT and
+// SIGTERM trigger a graceful shutdown: in-flight requests drain, then
+// the journal and backend are flushed.
+//
 // -demo N preloads a seeded synthetic history of N commits so /checkout
 // and /plan have something to serve immediately.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -31,6 +41,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dsvd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		problemStr  = flag.String("problem", "MSR", "re-planning regime: MSR|MMR|BSR|BMR (or MST|SPT baselines)")
@@ -39,7 +56,11 @@ func main() {
 		replanEvery = flag.Int("replan-every", 8, "re-plan and migrate every k commits (negative: only via POST /replan)")
 		cache       = flag.Int("cache", 256, "checkout LRU entries (negative disables)")
 		workers     = flag.Int("workers", 0, "batch checkout workers (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "in-memory backend shards (0 = default; ignored with -data-dir)")
+		dataDir     = flag.String("data-dir", "", "durable storage root (objects + commit journal); empty serves from memory")
+		fsync       = flag.Bool("fsync", false, "fsync the commit journal on every commit (with -data-dir)")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-solver deadline inside re-planning races")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		ilp         = flag.Bool("ilp", false, "include the exact ILP in MSR re-planning races")
 		demo        = flag.Int("demo", 0, "preload a synthetic history of N commits")
 		demoSeed    = flag.Int64("demo-seed", 42, "seed for -demo")
@@ -47,34 +68,68 @@ func main() {
 	flag.Parse()
 	problem, err := core.ParseProblem(*problemStr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dsvd: %v\n", err)
-		os.Exit(2)
+		return err
 	}
-	repo := versioning.NewRepository("dsvd", versioning.RepositoryOptions{
+	repo, err := versioning.Open("dsvd", versioning.RepositoryOptions{
 		Problem:      problem,
 		Constraint:   *constraint,
 		AutoFactor:   *autoFactor,
 		ReplanEvery:  *replanEvery,
 		CacheEntries: *cache,
 		Workers:      *workers,
+		Shards:       *shards,
+		DataDir:      *dataDir,
+		SyncWrites:   *fsync,
 		EngineOptions: versioning.EngineOptions{
 			SolverTimeout: *timeout,
 			DisableILP:    !*ilp,
 		},
 	})
-	if *demo > 0 {
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		log.Printf("dsvd: durable storage in %s (%d versions recovered)", *dataDir, repo.Versions())
+	}
+	if *demo > 0 && repo.Versions() == 0 {
 		src := versioning.GenerateRepo("dsvd-demo", *demo, *demoSeed)
 		ctx := context.Background()
 		for v := 0; v < src.Graph.N(); v++ {
 			if _, err := repo.Commit(ctx, src.Parents[v], src.Contents[v]); err != nil {
-				log.Fatalf("dsvd: preloading demo commit %d: %v", v, err)
+				return fmt.Errorf("preloading demo commit %d: %w", v, err)
 			}
 		}
 		log.Printf("dsvd: preloaded %d demo commits (seed %d)", *demo, *demoSeed)
 	}
-	log.Printf("dsvd: serving %s (constraint %d, re-plan every %d commits) on %s",
-		problem, *constraint, *replanEvery, *addr)
-	if err := http.ListenAndServe(*addr, newServer(repo)); err != nil {
-		log.Fatalf("dsvd: %v", err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: newServer(repo)}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("dsvd: serving %s (constraint %d, re-plan every %d commits) on %s",
+			problem, *constraint, *replanEvery, *addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	select {
+	case err := <-errCh:
+		repo.Close()
+		return err
+	case <-ctx.Done():
 	}
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// flush the journal and the backend so a restart recovers everything.
+	log.Printf("dsvd: shutting down (draining up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("dsvd: drain incomplete: %v", err)
+	}
+	if err := repo.Close(); err != nil {
+		return fmt.Errorf("flushing storage: %w", err)
+	}
+	log.Printf("dsvd: storage flushed, bye")
+	return nil
 }

@@ -33,10 +33,17 @@ func newServer(repo *versioning.Repository) *server {
 	s.mux.HandleFunc("POST /replan", s.handleReplan)
 	s.mux.HandleFunc("GET /plan", s.handlePlan)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// handleHealthz is the liveness/readiness probe: cheap (one RLock plus
+// atomic counters), so orchestrators can poll it even mid-re-plan.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"versions": s.repo.Versions(),
+	})
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -80,7 +87,9 @@ func (s *server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	id, err := s.repo.Commit(r.Context(), parent, req.Lines)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if strings.Contains(err.Error(), "does not exist") {
+		if errors.Is(err, versioning.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		} else if strings.Contains(err.Error(), "does not exist") {
 			status = http.StatusUnprocessableEntity
 		}
 		writeJSON(w, status, errorResponse{Error: err.Error()})
@@ -132,7 +141,11 @@ func (s *server) handleCheckoutBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleReplan(w http.ResponseWriter, r *http.Request) {
 	if err := s.repo.Replan(r.Context()); err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		status := http.StatusInternalServerError
+		if errors.Is(err, versioning.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, s.repo.Summary())

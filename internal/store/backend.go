@@ -17,19 +17,38 @@ type BackendStats struct {
 // Backend is a flat content-addressed object store. Keys are content
 // hashes, so Put is idempotent: writing an existing key is a no-op (the
 // bytes are by construction identical). Implementations must be safe for
-// concurrent use.
+// concurrent use, including Keys iteration racing mutations (the
+// iteration then observes some mutations and not others, which is fine
+// for the orphan sweeps it serves).
 //
-// The in-memory MemBackend is the only implementation today; the
-// interface is the seam where durable backends (disk, S3-style, sharded)
-// plug in without touching the checkout engine.
+// Three implementations exist: MemBackend (one mutex, the reference
+// semantics and the contention baseline), ShardedMemBackend (per-shard
+// RWMutexes, the serving default), and DiskBackend (durable fan-out
+// directory layout, survives restarts). The conformance suite in
+// backendtest pins the shared contract.
 type Backend interface {
 	Put(k Key, data []byte) error
-	Get(k Key) ([]byte, error) // ErrNotFound when absent
-	Delete(k Key) error        // deleting an absent key is a no-op
+	Get(k Key) ([]byte, error)         // ErrNotFound when absent
+	Delete(k Key) error                // deleting an absent key is a no-op
+	Len() int                          // number of stored objects
+	Keys(fn func(k Key) error) error   // iterate keys; fn's error aborts
 	Stats() BackendStats
 }
 
-// MemBackend is a mutex-protected in-memory Backend.
+// Flusher is implemented by backends with buffered or journaled state
+// that should reach stable storage on daemon shutdown.
+type Flusher interface {
+	Flush() error
+}
+
+// Closer is implemented by backends holding OS resources.
+type Closer interface {
+	Close() error
+}
+
+// MemBackend is a single-mutex in-memory Backend: the reference
+// implementation and the contention baseline the sharded backend is
+// benchmarked against.
 type MemBackend struct {
 	mu      sync.RWMutex
 	objects map[Key][]byte
@@ -71,6 +90,30 @@ func (m *MemBackend) Delete(k Key) error {
 	if data, ok := m.objects[k]; ok {
 		m.bytes -= int64(len(data))
 		delete(m.objects, k)
+	}
+	return nil
+}
+
+// Len reports the number of stored objects.
+func (m *MemBackend) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.objects)
+}
+
+// Keys calls fn for every stored key (snapshot taken under the lock, so
+// fn may mutate the backend).
+func (m *MemBackend) Keys(fn func(k Key) error) error {
+	m.mu.RLock()
+	keys := make([]Key, 0, len(m.objects))
+	for k := range m.objects {
+		keys = append(keys, k)
+	}
+	m.mu.RUnlock()
+	for _, k := range keys {
+		if err := fn(k); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,195 @@
+// Package backendtest is the shared conformance suite for store.Backend
+// implementations. Every backend — in-memory, sharded, disk, and any
+// future one — must pass Run, which pins the contract the checkout
+// engine and the refcount GC rely on: content-addressed idempotent puts,
+// ErrNotFound on absent keys, no-op deletes of absent keys, accurate
+// Len/Keys/Stats, and safety under concurrent mixed traffic (run the
+// suite with -race).
+package backendtest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// Factory builds a fresh, empty backend for one subtest.
+type Factory func(t *testing.T) store.Backend
+
+// Run exercises the full Backend contract against factory-built
+// instances.
+func Run(t *testing.T, factory Factory) {
+	t.Run("PutGetDelete", func(t *testing.T) { testPutGetDelete(t, factory(t)) })
+	t.Run("IdempotentPut", func(t *testing.T) { testIdempotentPut(t, factory(t)) })
+	t.Run("LenKeysStats", func(t *testing.T) { testLenKeysStats(t, factory(t)) })
+	t.Run("KeysAbort", func(t *testing.T) { testKeysAbort(t, factory(t)) })
+	t.Run("Concurrent", func(t *testing.T) { testConcurrent(t, factory(t)) })
+}
+
+// payload builds a distinct object payload and its content key.
+func payload(i int) (store.Key, []byte) {
+	data := []byte(fmt.Sprintf("object-%d-payload", i))
+	return store.KeyOf(data), data
+}
+
+func testPutGetDelete(t *testing.T, b store.Backend) {
+	k, data := payload(1)
+	if _, err := b.Get(k); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Get on empty backend: %v, want ErrNotFound", err)
+	}
+	if err := b.Put(k, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get(k)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v, want %q", got, err, data)
+	}
+	if err := b.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get(k); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Get after Delete: %v, want ErrNotFound", err)
+	}
+	if err := b.Delete(k); err != nil {
+		t.Fatalf("Delete of absent key must be a no-op, got %v", err)
+	}
+}
+
+func testIdempotentPut(t *testing.T, b store.Backend) {
+	k, data := payload(2)
+	for i := 0; i < 3; i++ {
+		if err := b.Put(k, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := b.Len(); n != 1 {
+		t.Fatalf("Len after repeated Put = %d, want 1", n)
+	}
+	if st := b.Stats(); st.Objects != 1 || st.Bytes != int64(len(data)) {
+		t.Fatalf("Stats after repeated Put = %+v", st)
+	}
+}
+
+func testLenKeysStats(t *testing.T, b store.Backend) {
+	const n = 20
+	want := make(map[store.Key]int)
+	var bytesTotal int64
+	for i := 0; i < n; i++ {
+		k, data := payload(i)
+		if err := b.Put(k, data); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = len(data)
+		bytesTotal += int64(len(data))
+	}
+	if got := b.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	if st := b.Stats(); st.Objects != n || st.Bytes != bytesTotal {
+		t.Fatalf("Stats = %+v, want %d objects / %d bytes", st, n, bytesTotal)
+	}
+	seen := make(map[store.Key]bool)
+	if err := b.Keys(func(k store.Key) error {
+		if seen[k] {
+			return fmt.Errorf("key %s yielded twice", k)
+		}
+		seen[k] = true
+		if _, ok := want[k]; !ok {
+			return fmt.Errorf("unexpected key %s", k)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("Keys yielded %d keys, want %d", len(seen), n)
+	}
+	// Keys snapshots must tolerate mutation from within fn (the orphan
+	// sweep deletes while iterating).
+	if err := b.Keys(b.Delete); err != nil {
+		t.Fatalf("delete-during-Keys: %v", err)
+	}
+	if got := b.Len(); got != 0 {
+		t.Fatalf("Len after sweep = %d, want 0", got)
+	}
+}
+
+func testKeysAbort(t *testing.T, b store.Backend) {
+	for i := 0; i < 8; i++ {
+		k, data := payload(i)
+		if err := b.Put(k, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("boom")
+	calls := 0
+	if err := b.Keys(func(store.Key) error {
+		calls++
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("Keys swallowed fn's error: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("Keys kept iterating after an error: %d calls", calls)
+	}
+}
+
+func testConcurrent(t *testing.T, b store.Backend) {
+	const (
+		workers = 8
+		objects = 64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < objects; i++ {
+				k, data := payload(i) // all workers fight over the same keys
+				switch (w + i) % 3 {
+				case 0:
+					if err := b.Put(k, data); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				case 1:
+					got, err := b.Get(k)
+					if err != nil && !errors.Is(err, store.ErrNotFound) {
+						t.Errorf("Get: %v", err)
+						return
+					}
+					if err == nil && !bytes.Equal(got, data) {
+						t.Errorf("Get returned wrong bytes for %s", k)
+						return
+					}
+				default:
+					if err := b.Delete(k); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				}
+			}
+			// Iteration racing mutation must not error or deadlock.
+			if err := b.Keys(func(store.Key) error { return nil }); err != nil {
+				t.Errorf("Keys under load: %v", err)
+			}
+			_ = b.Len()
+			_ = b.Stats()
+		}(w)
+	}
+	wg.Wait()
+	// Settle: put everything, then verify a coherent final state.
+	for i := 0; i < objects; i++ {
+		k, data := payload(i)
+		if err := b.Put(k, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := b.Len(); n != objects {
+		t.Fatalf("Len after settling = %d, want %d", n, objects)
+	}
+}

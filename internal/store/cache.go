@@ -10,6 +10,11 @@ import (
 // contentCache is an LRU cache of reconstructed version contents. Version
 // content is immutable once committed, so entries never need invalidation
 // — not even across plan migrations — only eviction.
+//
+// c.mu is a leaf in the store's lock order: get/put/len never call back
+// into the Store or the backend, so holding s.mu while probing the cache
+// (the path-snapshot walk does) cannot invert, and no cache lock is ever
+// held across singleflight waits or backend I/O.
 type contentCache struct {
 	mu  sync.Mutex
 	cap int

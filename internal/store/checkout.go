@@ -22,7 +22,10 @@ type flightCall struct {
 // ancestor and applies the stored edit scripts forward — the retrieval
 // process the paper's R(v) models. Concurrent checkouts of the same
 // version are deduplicated (singleflight) and results land in the LRU
-// cache. The returned slice is shared with the cache: do not modify it.
+// cache. No store lock is held while waiting on a flight or fetching
+// objects from the backend, so slow (e.g. disk) reconstructions never
+// block commits, migrations, or checkouts of other versions. The
+// returned slice is shared with the cache: do not modify it.
 func (s *Store) Checkout(ctx context.Context, v graph.NodeID) ([]string, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -68,64 +71,122 @@ func (s *Store) Checkout(ctx context.Context, v graph.NodeID) ([]string, error) 
 	}
 }
 
-// reconstruct rebuilds v's content under the read lock, so a concurrent
-// Install can never garbage-collect the objects mid-walk.
+// maxPlanRetries bounds how often one checkout re-snapshots after losing
+// objects to concurrent migrations. Migrations are rare (every
+// ReplanEvery commits), so a single retry almost always suffices.
+const maxPlanRetries = 4
+
+// reconstruct rebuilds v's content. Each attempt snapshots the retrieval
+// path under the read lock, releases it, and fetches the objects
+// lock-free; if a concurrent Install garbage-collects a snapshotted
+// object before the fetch, the resulting ErrNotFound triggers a fresh
+// snapshot under the new plan. Under pathological plan churn (migrations
+// completing faster than the fetch) the final attempt degrades to
+// fetching under the read lock, which blocks the next migration's swap —
+// and therefore its GC — guaranteeing progress.
 func (s *Store) reconstruct(ctx context.Context, v graph.NodeID) ([]string, error) {
+	for attempt := 0; attempt < maxPlanRetries; attempt++ {
+		lines, err := s.tryReconstruct(ctx, v)
+		if errors.Is(err, ErrNotFound) {
+			s.planRetries.Add(1)
+			continue
+		}
+		return lines, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if int(v) < 0 || int(v) >= len(s.parentEdge) {
-		return nil, fmt.Errorf("store: unknown version %d (have %d)", v, len(s.parentEdge))
+	snap, err := s.snapshotPathLocked(ctx, v)
+	if err != nil {
+		return nil, err
 	}
+	return s.fetchSnapshot(ctx, v, snap)
+}
+
+// pathSnapshot is one attempt's view of a retrieval path: the base the
+// walk terminated at (cached content, or a blob object to fetch) and the
+// delta objects to apply, ordered from v upward.
+type pathSnapshot struct {
+	base    []string // non-nil when a cached ancestor terminated the walk
+	baseKey Key      // blob/manifest object otherwise
+	deltas  []Key    // edit scripts v-ward, applied in reverse
+}
+
+// snapshotPathLocked walks the retrieval forest, resolving every object
+// key the reconstruction needs without touching the backend; s.mu must
+// be held (read or write).
+func (s *Store) snapshotPathLocked(ctx context.Context, v graph.NodeID) (pathSnapshot, error) {
+	if int(v) < 0 || int(v) >= len(s.parentEdge) {
+		return pathSnapshot{}, fmt.Errorf("store: unknown version %d (have %d)", v, len(s.parentEdge))
+	}
+	var snap pathSnapshot
 	// Walk up until a cached version or a materialized blob terminates
 	// the path. Cached ancestors shortcut deep chains for free.
-	var path []graph.EdgeID
-	var base []string
 	for x := v; ; {
 		if lines, ok := s.cache.get(x); ok {
-			base = lines
-			break
+			snap.base = lines
+			return snap, nil
 		}
 		if k, ok := s.blobKey[x]; ok {
-			payload, err := s.backend.Get(k)
-			if err != nil {
-				return nil, fmt.Errorf("store: blob of version %d: %w", x, err)
-			}
-			base, err = decodeBlob(payload)
-			if err != nil {
-				return nil, fmt.Errorf("store: blob of version %d: %w", x, err)
-			}
-			break
+			snap.baseKey = k
+			return snap, nil
 		}
 		e := s.parentEdge[x]
 		if e == graph.None {
-			return nil, fmt.Errorf("store: version %d not retrievable under installed plan", x)
+			return pathSnapshot{}, fmt.Errorf("store: version %d not retrievable under installed plan", x)
 		}
-		path = append(path, graph.EdgeID(e))
+		k, ok := s.deltaKey[graph.EdgeID(e)]
+		if !ok {
+			return pathSnapshot{}, fmt.Errorf("store: delta %d not stored", e)
+		}
+		snap.deltas = append(snap.deltas, k)
 		x = s.edgeFrom[graph.EdgeID(e)]
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return pathSnapshot{}, err
+		}
+	}
+}
+
+// tryReconstruct performs one snapshot-then-fetch attempt with no lock
+// held across the fetch. An ErrNotFound from the backend means a
+// migration collected a snapshotted object; the caller retries against
+// the new plan.
+func (s *Store) tryReconstruct(ctx context.Context, v graph.NodeID) ([]string, error) {
+	s.mu.RLock()
+	snap, err := s.snapshotPathLocked(ctx, v)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return s.fetchSnapshot(ctx, v, snap)
+}
+
+// fetchSnapshot materializes a snapshotted retrieval path: fetch (or
+// reuse) the base, then apply the edit scripts source -> v.
+func (s *Store) fetchSnapshot(ctx context.Context, v graph.NodeID, snap pathSnapshot) ([]string, error) {
+	base := snap.base
+	var err error
+	if base == nil {
+		base, err = getBlobObject(s.backend.Get, snap.baseKey)
+		if err != nil {
+			return nil, fmt.Errorf("store: blob of version %d: %w", v, err)
 		}
 	}
 	// Apply the edit scripts source -> v.
-	for i := len(path) - 1; i >= 0; i-- {
+	for i := len(snap.deltas) - 1; i >= 0; i-- {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		k, ok := s.deltaKey[path[i]]
-		if !ok {
-			return nil, fmt.Errorf("store: delta %d not stored", path[i])
-		}
-		payload, err := s.backend.Get(k)
+		payload, err := s.backend.Get(snap.deltas[i])
 		if err != nil {
-			return nil, fmt.Errorf("store: delta %d: %w", path[i], err)
+			return nil, fmt.Errorf("store: delta object %s: %w", snap.deltas[i], err)
 		}
-		d, err := decodeDelta(payload)
+		d, err := DecodeDelta(payload)
 		if err != nil {
-			return nil, fmt.Errorf("store: delta %d: %w", path[i], err)
+			return nil, fmt.Errorf("store: delta object %s: %w", snap.deltas[i], err)
 		}
 		base, err = d.Apply(base)
 		if err != nil {
-			return nil, fmt.Errorf("store: applying delta %d: %w", path[i], err)
+			return nil, fmt.Errorf("store: applying delta %s: %w", snap.deltas[i], err)
 		}
 		s.deltaApplies.Add(1)
 	}

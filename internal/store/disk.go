@@ -1,0 +1,205 @@
+package store
+
+import (
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// DiskBackend is a durable Backend: one file per object under a git-style
+// fan-out layout (objects/ab/cdef...), where the path is the hex content
+// hash split after its first byte. Writes are crash-safe: the payload is
+// written to a temporary file in the same directory, fsynced, then
+// renamed into place, so a killed daemon leaves either the complete
+// object or a stale *.tmp file (swept on the next open) — never a torn
+// object. Reads are lazy (nothing is cached in memory beyond a key→size
+// index rebuilt by scanning the layout at open), so the working set is
+// whatever the store-level LRU holds, not the whole object set.
+type DiskBackend struct {
+	root string // the objects/ directory
+
+	mu    sync.RWMutex
+	index map[Key]int64 // present objects and their sizes
+	bytes int64
+}
+
+// OpenDiskBackend opens (creating if needed) a disk backend rooted at
+// dir: objects live under dir/objects. Stale temporary files from a
+// previous crash are removed and the in-memory index is rebuilt from the
+// directory scan.
+func OpenDiskBackend(dir string) (*DiskBackend, error) {
+	root := filepath.Join(dir, "objects")
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating object dir: %w", err)
+	}
+	b := &DiskBackend{root: root, index: make(map[Key]int64)}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.Contains(d.Name(), ".tmp") {
+			return os.Remove(path) // torn write from a previous crash
+		}
+		k, ok := keyFromPath(root, path)
+		if !ok {
+			return nil // foreign file; leave it alone
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		b.index[k] = info.Size()
+		b.bytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning object dir: %w", err)
+	}
+	return b, nil
+}
+
+// path maps k to its fan-out file location.
+func (b *DiskBackend) path(k Key) string {
+	h := k.String()
+	return filepath.Join(b.root, h[:2], h[2:])
+}
+
+// keyFromPath reverses path for index rebuilding.
+func keyFromPath(root, path string) (Key, bool) {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return Key{}, false
+	}
+	h := strings.ReplaceAll(filepath.ToSlash(rel), "/", "")
+	raw, err := hex.DecodeString(h)
+	if err != nil || len(raw) != len(Key{}) {
+		return Key{}, false
+	}
+	var k Key
+	copy(k[:], raw)
+	return k, true
+}
+
+// Put stores data under k (idempotent) with a tmp+rename atomic write.
+func (b *DiskBackend) Put(k Key, data []byte) error {
+	b.mu.RLock()
+	_, ok := b.index[k]
+	b.mu.RUnlock()
+	if ok {
+		return nil
+	}
+	dst := b.path(k)
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: object dir %s: %w", dir, err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(dst)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: tmp object: %w", err)
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing object %s: %w", k, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing object %s: %w", k, err)
+	}
+	// Publish under the lock: the rename and the index insert must be
+	// atomic against a concurrent Delete of the same key, or the index
+	// could claim an object whose file the delete just removed.
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.index[k]; dup {
+		os.Remove(tmp.Name()) // another Put won; identical bytes exist
+		return nil
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: publishing object %s: %w", k, err)
+	}
+	b.index[k] = int64(len(data))
+	b.bytes += int64(len(data))
+	return nil
+}
+
+// Get reads the object stored under k from disk.
+func (b *DiskBackend) Get(k Key) ([]byte, error) {
+	data, err := os.ReadFile(b.path(k))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading object %s: %w", k, err)
+	}
+	return data, nil
+}
+
+// Delete removes k if present (file removal and index update are atomic
+// against concurrent Puts of the same key — see Put).
+func (b *DiskBackend) Delete(k Key) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := os.Remove(b.path(k)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: deleting object %s: %w", k, err)
+	}
+	if size, ok := b.index[k]; ok {
+		b.bytes -= size
+		delete(b.index, k)
+	}
+	return nil
+}
+
+// Len reports the number of stored objects.
+func (b *DiskBackend) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.index)
+}
+
+// Keys calls fn for every stored key (snapshot taken under the lock, so
+// fn may mutate the backend).
+func (b *DiskBackend) Keys(fn func(k Key) error) error {
+	b.mu.RLock()
+	keys := make([]Key, 0, len(b.index))
+	for k := range b.index {
+		keys = append(keys, k)
+	}
+	b.mu.RUnlock()
+	for _, k := range keys {
+		if err := fn(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats reports object count and byte footprint.
+func (b *DiskBackend) Stats() BackendStats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return BackendStats{Objects: len(b.index), Bytes: b.bytes}
+}
+
+// Flush syncs the object directory so recent renames survive a machine
+// crash (object payloads are already fsynced before publication).
+func (b *DiskBackend) Flush() error {
+	d, err := os.Open(b.root)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Close flushes the backend; the DiskBackend holds no long-lived OS
+// handles beyond that.
+func (b *DiskBackend) Close() error { return b.Flush() }

@@ -24,8 +24,15 @@ type Options struct {
 // commits to and reconstructs any version on demand. All methods are safe
 // for concurrent use; Install and the incremental Add* methods may run
 // concurrently with checkouts (checkouts observe either the old or the
-// new plan, never a mix), but callers must serialize Install/Add* calls
-// among themselves, as versioning.Repository does.
+// new plan, never a mix), but callers must serialize Install/Add*/
+// SweepOrphans calls among themselves, as versioning.Repository does.
+//
+// Lock order: s.mu is never held across backend I/O — checkouts snapshot
+// the retrieval path under the read lock and fetch objects lock-free,
+// retrying if a concurrent migration garbage-collects an object from
+// under them; Install and the Add* methods write objects before taking
+// the write lock to publish them. cache.mu and flightMu are leaf locks:
+// nothing is acquired while holding them.
 //
 // Returned content slices are shared with the cache: callers must not
 // modify them.
@@ -33,11 +40,10 @@ type Store struct {
 	backend Backend
 	cache   *contentCache
 
-	// mu guards the installed-plan state below. Checkouts hold the read
-	// lock for the whole reconstruction so a migration can never delete
-	// an object out from under them.
+	// mu guards the installed-plan state below — pure in-memory metadata,
+	// held only for map/slice access, never across backend I/O.
 	mu         sync.RWMutex
-	blobKey    map[graph.NodeID]Key // materialized version -> blob object
+	blobKey    map[graph.NodeID]Key // materialized version -> blob or manifest object
 	deltaKey   map[graph.EdgeID]Key // stored delta -> delta object
 	edgeFrom   map[graph.EdgeID]graph.NodeID
 	parentEdge []int32 // retrieval forest: edge into v (graph.None for materialized)
@@ -49,11 +55,12 @@ type Store struct {
 	checkouts    atomic.Int64
 	cacheHits    atomic.Int64
 	deltaApplies atomic.Int64
+	planRetries  atomic.Int64
 }
 
 // Stats summarizes a Store.
 type Stats struct {
-	Objects        int   // objects in the backend
+	Objects        int   // objects in the backend (blobs, deltas, chunks, manifests)
 	Bytes          int64 // backend byte footprint
 	Blobs          int   // materialized versions
 	Deltas         int   // stored edit scripts
@@ -62,6 +69,7 @@ type Stats struct {
 	Checkouts      int64 // Checkout calls served
 	CacheHits      int64 // checkouts answered from the LRU
 	DeltaApplies   int64 // edit scripts applied during reconstructions
+	PlanRetries    int64 // checkouts re-snapshotted after racing a migration
 }
 
 // New returns an empty Store.
@@ -81,6 +89,9 @@ func New(opt Options) *Store {
 	}
 }
 
+// Backend returns the backend the store runs on.
+func (s *Store) Backend() Backend { return s.backend }
+
 // Stats reports the store's current footprint and traffic counters.
 func (s *Store) Stats() Stats {
 	bs := s.backend.Stats()
@@ -97,6 +108,7 @@ func (s *Store) Stats() Stats {
 		Checkouts:      s.checkouts.Load(),
 		CacheHits:      s.cacheHits.Load(),
 		DeltaApplies:   s.deltaApplies.Load(),
+		PlanRetries:    s.planRetries.Load(),
 	}
 }
 
@@ -105,12 +117,64 @@ func (s *Store) Stats() Stats {
 // installed plan during migration).
 type ContentFunc func(v graph.NodeID) ([]string, error)
 
+// putBlobObject persists lines as a materialized version: small contents
+// as one blob object, large contents as content-defined chunks behind a
+// manifest so versions sharing runs of lines share chunk objects. Every
+// object write goes through put; the returned key is the version's root
+// object (blob or manifest).
+func putBlobObject(lines []string, put func([]byte) (Key, error)) (Key, error) {
+	if len(lines) < chunkThreshold {
+		return put(EncodeBlob(lines))
+	}
+	chunks := chunkLines(lines)
+	keys := make([]Key, len(chunks))
+	for i, c := range chunks {
+		k, err := put(encodeChunk(c))
+		if err != nil {
+			return Key{}, err
+		}
+		keys[i] = k
+	}
+	return put(encodeManifest(len(lines), keys))
+}
+
+// getBlobObject reads a materialized version back: a plain blob decodes
+// directly, a manifest fans out to its chunk objects.
+func getBlobObject(get func(Key) ([]byte, error), k Key) ([]string, error) {
+	payload, err := get(k)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > 0 && payload[0] == tagManifest {
+		total, chunkKeys, err := decodeManifest(payload)
+		if err != nil {
+			return nil, err
+		}
+		lines := make([]string, 0, total)
+		for _, ck := range chunkKeys {
+			cp, err := get(ck)
+			if err != nil {
+				return nil, err
+			}
+			cl, err := decodeChunk(cp)
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, cl...)
+		}
+		return lines, nil
+	}
+	return DecodeBlob(payload)
+}
+
 // Install switches the store to plan p for graph g: it persists a blob
 // for every materialized version and an edit script for every stored
 // delta (recomputed deterministically from the endpoint contents), then
 // atomically swaps the serving state and garbage-collects objects the new
 // plan no longer references. content is consulted once per needed version
-// (memoized internally).
+// (memoized internally). All object writes and deletions happen outside
+// the store lock: only the final metadata swap blocks checkouts, and only
+// for a map swap.
 //
 // Install validates that p makes every version of g retrievable and
 // refuses to install an infeasible plan, leaving the previous state
@@ -149,7 +213,7 @@ func (s *Store) Install(g *graph.Graph, p *plan.Plan, content ContentFunc) error
 	newFrom := make(map[graph.EdgeID]graph.NodeID)
 	newRefs := make(map[Key]int)
 	put := func(payload []byte) (Key, error) {
-		k := keyOf(payload)
+		k := KeyOf(payload)
 		if newRefs[k] == 0 {
 			if err := s.backend.Put(k, payload); err != nil {
 				return Key{}, err
@@ -167,7 +231,7 @@ func (s *Store) Install(g *graph.Graph, p *plan.Plan, content ContentFunc) error
 			if err != nil {
 				return err
 			}
-			k, err := put(encodeBlob(l))
+			k, err := putBlobObject(l, put)
 			if err != nil {
 				return err
 			}
@@ -186,7 +250,7 @@ func (s *Store) Install(g *graph.Graph, p *plan.Plan, content ContentFunc) error
 			if err != nil {
 				return err
 			}
-			k, err := put(encodeDelta(diff.Compute(a, b)))
+			k, err := put(EncodeDelta(diff.Compute(a, b)))
 			if err != nil {
 				return err
 			}
@@ -199,13 +263,16 @@ func (s *Store) Install(g *graph.Graph, p *plan.Plan, content ContentFunc) error
 		// Roll back objects this Install wrote that the serving plan does
 		// not reference, so a failed migration leaves no orphans.
 		s.mu.RLock()
-		cur := s.refs
+		orphans := make([]Key, 0, len(newRefs))
 		for k := range newRefs {
-			if cur[k] == 0 {
-				_ = s.backend.Delete(k)
+			if s.refs[k] == 0 {
+				orphans = append(orphans, k)
 			}
 		}
 		s.mu.RUnlock()
+		for _, k := range orphans {
+			_ = s.backend.Delete(k)
+		}
 		return err
 	}
 
@@ -217,11 +284,12 @@ func (s *Store) Install(g *graph.Graph, p *plan.Plan, content ContentFunc) error
 	s.mu.Unlock()
 
 	// Garbage-collect objects only the old plan referenced. New objects
-	// were written before the swap and old objects are deleted after it,
-	// so checkouts (which hold the read lock across reconstruction) never
-	// observe a missing object. The new plan is serving at this point, so
-	// a backend deletion failure is not an Install failure: at worst an
-	// unreferenced object lingers.
+	// were written before the swap and old objects are deleted after it;
+	// a checkout that snapshotted the old plan and loses an object to
+	// this sweep detects the ErrNotFound and retries under the new plan.
+	// The new plan is serving at this point, so a backend deletion
+	// failure is not an Install failure: at worst an unreferenced object
+	// lingers until the next sweep.
 	for k := range oldRefs {
 		if newRefs[k] == 0 {
 			_ = s.backend.Delete(k)
@@ -234,20 +302,34 @@ func (s *Store) Install(g *graph.Graph, p *plan.Plan, content ContentFunc) error
 // full — the incremental form of committing a root (or any version the
 // caller chooses to pin) between re-plans. v must be the next dense id.
 func (s *Store) AddMaterialized(v graph.NodeID, lines []string) error {
+	if err := s.nextID(v, "AddMaterialized"); err != nil {
+		return err
+	}
+	// Object writes happen before publication and outside the lock; a
+	// failure leaves at most content-addressed objects a later sweep
+	// collects, never a published version.
+	var written []Key
+	k, err := putBlobObject(lines, func(payload []byte) (Key, error) {
+		pk := KeyOf(payload)
+		if err := s.backend.Put(pk, payload); err != nil {
+			return Key{}, err
+		}
+		written = append(written, pk)
+		return pk, nil
+	})
+	if err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Validate before Put so a rejected call leaves no orphan object.
 	if int(v) != len(s.parentEdge) {
-		return fmt.Errorf("store: AddMaterialized(%d) out of order, next id is %d", v, len(s.parentEdge))
-	}
-	payload := encodeBlob(lines)
-	k := keyOf(payload)
-	if err := s.backend.Put(k, payload); err != nil {
-		return err
+		return fmt.Errorf("store: AddMaterialized(%d) raced another writer, next id is %d", v, len(s.parentEdge))
 	}
 	s.parentEdge = append(s.parentEdge, graph.None)
 	s.blobKey[v] = k
-	s.refs[k]++
+	for _, wk := range written {
+		s.refs[wk]++
+	}
 	if lines != nil {
 		s.cache.put(v, lines)
 	}
@@ -261,22 +343,22 @@ func (s *Store) AddMaterialized(v graph.NodeID, lines []string) error {
 // v must be the next dense id and parent must already be covered. lines,
 // when non-nil, is v's full content and seeds the checkout cache.
 func (s *Store) AddVersion(v, parent graph.NodeID, e graph.EdgeID, d diff.Delta, lines []string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	// Validate before Put so a rejected call leaves no orphan object.
-	if int(v) != len(s.parentEdge) {
-		return fmt.Errorf("store: AddVersion(%d) out of order, next id is %d", v, len(s.parentEdge))
+	s.mu.RLock()
+	err := s.validateAdd(v, parent, e)
+	s.mu.RUnlock()
+	if err != nil {
+		return err
 	}
-	if int(parent) >= len(s.parentEdge) {
-		return fmt.Errorf("store: AddVersion(%d) from unknown parent %d", v, parent)
-	}
-	if _, dup := s.deltaKey[e]; dup {
-		return fmt.Errorf("store: delta %d already stored", e)
-	}
-	payload := encodeDelta(d)
-	k := keyOf(payload)
+	payload := EncodeDelta(d)
+	k := KeyOf(payload)
 	if err := s.backend.Put(k, payload); err != nil {
 		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.validateAdd(v, parent, e); err != nil {
+		return fmt.Errorf("store: AddVersion raced another writer: %w", err)
 	}
 	s.parentEdge = append(s.parentEdge, int32(e))
 	s.deltaKey[e] = k
@@ -286,4 +368,63 @@ func (s *Store) AddVersion(v, parent graph.NodeID, e graph.EdgeID, d diff.Delta,
 		s.cache.put(v, lines)
 	}
 	return nil
+}
+
+// nextID checks v is the next dense version id under the read lock.
+func (s *Store) nextID(v graph.NodeID, op string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(v) != len(s.parentEdge) {
+		return fmt.Errorf("store: %s(%d) out of order, next id is %d", op, v, len(s.parentEdge))
+	}
+	return nil
+}
+
+// validateAdd checks the AddVersion preconditions; s.mu must be held.
+func (s *Store) validateAdd(v, parent graph.NodeID, e graph.EdgeID) error {
+	if int(v) != len(s.parentEdge) {
+		return fmt.Errorf("store: AddVersion(%d) out of order, next id is %d", v, len(s.parentEdge))
+	}
+	if int(parent) >= len(s.parentEdge) {
+		return fmt.Errorf("store: AddVersion(%d) from unknown parent %d", v, parent)
+	}
+	if _, dup := s.deltaKey[e]; dup {
+		return fmt.Errorf("store: delta %d already stored", e)
+	}
+	return nil
+}
+
+// SweepOrphans deletes every backend object the installed plan does not
+// reference — objects stranded by a crash between a migration's swap and
+// its GC sweep, or by a failed incremental add. Callers must serialize it
+// with Install/Add* (versioning.Open runs it before serving).
+func (s *Store) SweepOrphans() (removed int, err error) {
+	err = s.backend.Keys(func(k Key) error {
+		s.mu.RLock()
+		referenced := s.refs[k] > 0
+		s.mu.RUnlock()
+		if referenced {
+			return nil
+		}
+		if err := s.backend.Delete(k); err != nil {
+			return err
+		}
+		removed++
+		return nil
+	})
+	return removed, err
+}
+
+// Close flushes and closes the backend if it supports either operation.
+func (s *Store) Close() error {
+	var err error
+	if f, ok := s.backend.(Flusher); ok {
+		err = f.Flush()
+	}
+	if c, ok := s.backend.(Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

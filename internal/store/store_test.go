@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -21,9 +22,9 @@ func TestBlobCodecRoundTrip(t *testing.T) {
 		{"line with \n newline", "tabs\tand\x00nuls", "ünïcödé — δ"},
 	}
 	for _, lines := range cases {
-		got, err := decodeBlob(encodeBlob(lines))
+		got, err := DecodeBlob(EncodeBlob(lines))
 		if err != nil {
-			t.Fatalf("decodeBlob(%q): %v", lines, err)
+			t.Fatalf("DecodeBlob(%q): %v", lines, err)
 		}
 		if len(got) != len(lines) {
 			t.Fatalf("round-trip %q -> %q", lines, got)
@@ -40,7 +41,7 @@ func TestDeltaCodecRoundTrip(t *testing.T) {
 	a := []string{"a", "b", "c", "d"}
 	b := []string{"a", "x", "c", "y", "z"}
 	d := diff.Compute(a, b)
-	got, err := decodeDelta(encodeDelta(d))
+	got, err := DecodeDelta(EncodeDelta(d))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,20 +55,20 @@ func TestDeltaCodecRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(applied, b) {
 		t.Fatalf("decoded delta applies to %q, want %q", applied, b)
 	}
-	if _, err := decodeDelta(encodeBlob([]string{"x"})); err == nil {
+	if _, err := DecodeDelta(EncodeBlob([]string{"x"})); err == nil {
 		t.Fatal("decodeDelta accepted a blob payload")
 	}
-	if _, err := decodeBlob(encodeDelta(d)); err == nil {
+	if _, err := DecodeBlob(EncodeDelta(d)); err == nil {
 		t.Fatal("decodeBlob accepted a delta payload")
 	}
-	if _, err := decodeBlob(encodeBlob([]string{"x"})[:3]); err == nil {
+	if _, err := DecodeBlob(EncodeBlob([]string{"x"})[:3]); err == nil {
 		t.Fatal("decodeBlob accepted a truncated payload")
 	}
 }
 
 func TestMemBackend(t *testing.T) {
 	m := NewMemBackend()
-	k := keyOf([]byte("payload"))
+	k := KeyOf([]byte("payload"))
 	if _, err := m.Get(k); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get missing: %v, want ErrNotFound", err)
 	}
@@ -172,12 +173,20 @@ func TestMigrationGarbageCollects(t *testing.T) {
 	if full.Deltas != 0 {
 		t.Fatalf("materialize-all left %d delta objects", full.Deltas)
 	}
+	// Expected object count: replay every content through the same write
+	// path (chunked or whole) and count distinct keys.
 	distinct := make(map[Key]bool)
 	for _, c := range r.Contents {
-		distinct[keyOf(encodeBlob(c))] = true
+		if _, err := putBlobObject(c, func(payload []byte) (Key, error) {
+			k := KeyOf(payload)
+			distinct[k] = true
+			return k, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if full.Objects != len(distinct) {
-		t.Fatalf("backend holds %d objects, want %d distinct blobs", full.Objects, len(distinct))
+		t.Fatalf("backend holds %d objects, want %d distinct blob objects", full.Objects, len(distinct))
 	}
 
 	// And back again: blobs the MST plan does not materialize must go.
@@ -207,6 +216,136 @@ func TestContentDeduplication(t *testing.T) {
 	}
 	if st := s.Stats(); st.Objects != 1 || st.Blobs != 2 {
 		t.Fatalf("Stats = %+v, want 1 object backing 2 blobs", st)
+	}
+}
+
+// TestCorruptObjectsRejectedNotPanic feeds adversarially corrupt
+// payloads (huge varint counts that would overflow length math or
+// preallocation) into every decoder: they must return ErrBadObject, not
+// panic — a bit-rotted disk object must never crash the daemon.
+func TestCorruptObjectsRejectedNotPanic(t *testing.T) {
+	huge := []byte{0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01} // ~2^64-2
+	cases := map[string][]byte{
+		"blob-huge-count":     append([]byte{tagBlob}, huge...),
+		"chunk-huge-count":    append([]byte{tagChunk}, huge...),
+		"delta-huge-count":    append([]byte{tagDelta}, huge...),
+		"manifest-huge-total": append([]byte{tagManifest}, huge...),
+		"manifest-huge-keys":  append(append([]byte{tagManifest}, 0x01), huge...),
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			var err error
+			switch payload[0] {
+			case tagBlob:
+				_, err = DecodeBlob(payload)
+			case tagChunk:
+				_, err = decodeChunk(payload)
+			case tagDelta:
+				_, err = DecodeDelta(payload)
+			case tagManifest:
+				_, _, err = decodeManifest(payload)
+			}
+			if !errors.Is(err, ErrBadObject) {
+				t.Fatalf("corrupt payload decoded to %v, want ErrBadObject", err)
+			}
+		})
+	}
+}
+
+// bigLines builds n distinct deterministic lines.
+func bigLines(n int, tag string) []string {
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("%s-line-%04d-padding-padding", tag, i)
+	}
+	return lines
+}
+
+// TestChunkedBlobRoundTrip pins the manifest+chunk write/read path for
+// contents above the chunking threshold.
+func TestChunkedBlobRoundTrip(t *testing.T) {
+	lines := bigLines(400, "chunked")
+	s := New(Options{CacheEntries: -1})
+	if err := s.AddMaterialized(0, lines); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Checkout(t.Context(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, lines) {
+		t.Fatal("chunked blob did not round-trip")
+	}
+	if st := s.Stats(); st.Objects < 3 {
+		t.Fatalf("Stats = %+v, want a manifest plus at least two chunks", st)
+	}
+}
+
+// TestChunkedBlobDedup is the chunk-level dedup property: two large
+// materialized versions differing in one line share all chunk objects
+// except the ones straddling the edit.
+func TestChunkedBlobDedup(t *testing.T) {
+	base := bigLines(400, "dedup")
+	edited := append([]string(nil), base...)
+	edited[200] = "edited-line"
+
+	standalone := func(lines []string) int64 {
+		s := New(Options{})
+		if err := s.AddMaterialized(0, lines); err != nil {
+			t.Fatal(err)
+		}
+		return s.Stats().Bytes
+	}
+	sum := standalone(base) + standalone(edited)
+
+	s := New(Options{CacheEntries: -1})
+	if err := s.AddMaterialized(0, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddMaterialized(1, edited); err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range [][]string{base, edited} {
+		got, err := s.Checkout(t.Context(), graph.NodeID(v))
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Fatalf("Checkout(%d): %v", v, err)
+		}
+	}
+	combined := s.Stats().Bytes
+	if combined >= sum*3/4 {
+		t.Fatalf("chunk dedup saved too little: %d combined vs %d standalone", combined, sum)
+	}
+}
+
+// TestSweepOrphans verifies the startup sweep removes exactly the
+// objects the installed plan does not reference.
+func TestSweepOrphans(t *testing.T) {
+	b := NewShardedMemBackend(4)
+	s := New(Options{Backend: b, CacheEntries: -1})
+	lines := []string{"kept", "content"}
+	if err := s.AddMaterialized(0, lines); err != nil {
+		t.Fatal(err)
+	}
+	// Strand two objects, as a crash between a migration's swap and its
+	// GC sweep would.
+	for _, orphan := range [][]byte{[]byte("orphan-a"), []byte("orphan-b")} {
+		if err := b.Put(KeyOf(orphan), orphan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := s.SweepOrphans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("SweepOrphans removed %d objects, want 2", removed)
+	}
+	got, err := s.Checkout(t.Context(), 0)
+	if err != nil || !reflect.DeepEqual(got, lines) {
+		t.Fatalf("referenced object swept: %v, %v", got, err)
+	}
+	if n := b.Len(); n != 1 {
+		t.Fatalf("backend holds %d objects after sweep, want 1", n)
 	}
 }
 

@@ -2,7 +2,9 @@ package versioning
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -17,6 +19,9 @@ import (
 // independent root); such versions are materialized until the next
 // re-plan reconsiders them.
 const NoParent NodeID = graph.None
+
+// ErrClosed reports a write against a closed repository.
+var ErrClosed = errors.New("versioning: repository is closed")
 
 // RepositoryOptions configures a Repository.
 type RepositoryOptions struct {
@@ -41,6 +46,23 @@ type RepositoryOptions struct {
 	// Workers bounds concurrent reconstructions in CheckoutBatch
 	// (0 = runtime.GOMAXPROCS).
 	Workers int
+	// Backend is the object backend the store runs on. nil picks the
+	// default: a sharded in-memory backend with Shards shards, or — when
+	// Open is given a DataDir — a durable disk backend rooted there.
+	Backend store.Backend
+	// Shards is the shard count of the default in-memory backend
+	// (0 = store.DefaultShards). One shard degenerates to a single-mutex
+	// map, the contention baseline the benchmarks compare against.
+	Shards int
+	// DataDir makes the repository durable (Open only): objects live in
+	// DataDir/objects and every commit is journaled to DataDir/journal.wal
+	// before it is acknowledged, so a killed daemon reopens to the exact
+	// committed history.
+	DataDir string
+	// SyncWrites fsyncs the journal on every commit instead of only on
+	// Close. Off, a process kill loses nothing (the OS has the bytes); a
+	// machine crash may lose the most recent commits.
+	SyncWrites bool
 	// Engine is the portfolio engine used for re-planning. nil builds one
 	// from EngineOptions; if those are zero too, the serving defaults
 	// apply (5s solver timeout, ILP disabled).
@@ -59,15 +81,28 @@ type RepositoryOptions struct {
 // Checkout reconstructs any version by walking the plan's retrieval path,
 // with LRU caching, singleflight deduplication and batch support.
 //
-// Commit/Replan are serialized internally; Checkout and CheckoutBatch may
-// run concurrently with them and with each other. Returned and committed
-// line slices are shared with the cache: callers must not modify them.
+// Locking is split by role. commitMu serializes the writers (Commit,
+// Replan, Close) among themselves; stateMu is an RWMutex protecting the
+// serving metadata, write-locked only for the brief publication step of
+// a commit or re-plan — never across diffs, solver races, store
+// migrations, or journal I/O. Checkout/CheckoutBatch take neither lock
+// (the store synchronizes itself), and Stats/Summary/Plan/Versions take
+// only the read lock, so the read path proceeds concurrently with even
+// the longest re-plan. Returned and committed line slices are shared
+// with the cache: callers must not modify them.
 type Repository struct {
 	opt RepositoryOptions
 	eng *Engine
 	st  *store.Store
 
-	mu          sync.Mutex // guards the fields below and serializes commits/replans
+	// commitMu serializes commits, re-plans, and close. The journal and
+	// the store's Add*/Install/Sweep methods are only touched under it.
+	commitMu sync.Mutex
+	wal      *wal // nil when the repository is not durable
+	closed   bool
+
+	// stateMu guards the serving metadata below.
+	stateMu     sync.RWMutex
 	g           *Graph
 	plan        *Plan
 	planCost    PlanCost
@@ -79,7 +114,8 @@ type Repository struct {
 	replanErr   error
 }
 
-// NewRepository returns an empty repository named name.
+// NewRepository returns an empty in-memory repository named name. For a
+// durable repository, use Open with RepositoryOptions.DataDir.
 func NewRepository(name string, opt RepositoryOptions) *Repository {
 	if opt.AutoFactor <= 0 {
 		opt.AutoFactor = 2
@@ -95,10 +131,14 @@ func NewRepository(name string, opt RepositoryOptions) *Repository {
 		}
 		eng = NewEngine(eo)
 	}
+	backend := opt.Backend
+	if backend == nil {
+		backend = store.NewShardedMemBackend(opt.Shards)
+	}
 	return &Repository{
 		opt:        opt,
 		eng:        eng,
-		st:         store.New(store.Options{CacheEntries: opt.CacheEntries}),
+		st:         store.New(store.Options{Backend: backend, CacheEntries: opt.CacheEntries}),
 		g:          NewGraph(name),
 		plan:       plan.New(NewGraph(name)),
 		planCost:   PlanCost{Feasible: true},
@@ -106,10 +146,83 @@ func NewRepository(name string, opt RepositoryOptions) *Repository {
 	}
 }
 
+// Open returns a repository backed by durable storage: objects in
+// opt.DataDir/objects (a disk backend, unless opt.Backend overrides it)
+// and a write-ahead commit journal in opt.DataDir/journal.wal. An
+// existing journal is replayed — every committed version is rebuilt into
+// the version graph and the storage chain, torn tails from a crash are
+// truncated, and orphaned objects (e.g. from a migration interrupted
+// mid-GC) are swept — so a commit → kill → Open round-trip serves the
+// exact committed history. The replayed layout is the incremental chain;
+// the next re-plan (or Replan call) restores an optimized plan.
+//
+// With an empty DataDir, Open degenerates to NewRepository: a valid,
+// purely in-memory repository.
+func Open(name string, opt RepositoryOptions) (*Repository, error) {
+	if opt.DataDir == "" {
+		return NewRepository(name, opt), nil
+	}
+	if opt.Backend == nil {
+		b, err := store.OpenDiskBackend(opt.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		opt.Backend = b
+	}
+	r := NewRepository(name, opt)
+	// A torn tail (openWAL truncates it) is not an error: the damaged
+	// record belongs to a commit that was never acknowledged.
+	w, recs, _, err := openWAL(filepath.Join(opt.DataDir, "journal.wal"), opt.SyncWrites)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if int(rec.v) != r.g.N() {
+			w.Close()
+			return nil, fmt.Errorf("versioning: journal replay: record %d out of order (have %d versions)", rec.v, r.g.N())
+		}
+		if rec.parent == NoParent {
+			err = r.applyRoot(rec.v, rec.lines, rec.nodeStorage)
+		} else {
+			err = r.applyChild(rec.v, rec.parent, rec.delta, nil, rec)
+		}
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("versioning: journal replay of version %d: %w", rec.v, err)
+		}
+	}
+	if _, err := r.st.SweepOrphans(); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("versioning: sweeping orphaned objects: %w", err)
+	}
+	r.wal = w
+	return r, nil
+}
+
+// Close flushes the journal and the backend and rejects further writes.
+// Reads keep working (a closed repository still serves checkouts).
+// Closing an already-closed or purely in-memory repository is a no-op.
+func (r *Repository) Close() error {
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	var err error
+	if r.wal != nil {
+		err = r.wal.Close()
+	}
+	if cerr := r.st.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Versions reports the number of committed versions.
 func (r *Repository) Versions() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.RLock()
+	defer r.stateMu.RUnlock()
 	return r.g.N()
 }
 
@@ -122,19 +235,20 @@ func (r *Repository) Versions() int {
 // failure is not fatal — the previous plan keeps serving and the error is
 // reported by Stats.
 func (r *Repository) Commit(ctx context.Context, parent NodeID, lines []string) (NodeID, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var v NodeID
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	if r.closed {
+		return 0, ErrClosed
+	}
+	// r.g is stable here: mutations require commitMu, which we hold.
+	v := NodeID(r.g.N())
 	if parent == NoParent {
-		v = r.g.AddNode(diff.ByteSize(lines))
-		r.plan.Materialized = append(r.plan.Materialized, true)
-		if err := r.st.AddMaterialized(v, lines); err != nil {
+		rec := walRecord{v: v, parent: NoParent, nodeStorage: diff.ByteSize(lines), lines: lines}
+		if err := r.commitJournaled(rec, func() error {
+			return r.applyRoot(v, lines, rec.nodeStorage)
+		}); err != nil {
 			return 0, err
 		}
-		// Incremental cost bookkeeping: a materialized root adds its own
-		// storage and retrieves for free.
-		r.retr = append(r.retr, 0)
-		r.planCost.Storage += r.g.NodeStorage(v)
 	} else {
 		if int(parent) < 0 || int(parent) >= r.g.N() {
 			return 0, fmt.Errorf("versioning: commit parent %d does not exist (have %d versions)", parent, r.g.N())
@@ -145,32 +259,104 @@ func (r *Repository) Commit(ctx context.Context, parent NodeID, lines []string) 
 		}
 		fwd := diff.Compute(parentLines, lines)
 		rev := diff.Compute(lines, parentLines)
-		v = r.g.AddNode(diff.ByteSize(lines))
-		fe := r.g.AddEdge(parent, v, fwd.StorageCost(), fwd.StorageCost())
-		re := r.g.AddEdge(v, parent, rev.StorageCost(), rev.StorageCost())
-		r.plan.Materialized = append(r.plan.Materialized, false)
-		r.plan.Stored = append(r.plan.Stored, true, false)
-		if fe != EdgeID(len(r.plan.Stored))-2 || re != EdgeID(len(r.plan.Stored))-1 {
-			return 0, fmt.Errorf("versioning: internal edge id drift (%d, %d)", fe, re)
+		rec := walRecord{
+			v: v, parent: parent,
+			nodeStorage: diff.ByteSize(lines),
+			fwdStorage:  fwd.StorageCost(), fwdRetr: fwd.StorageCost(),
+			revStorage: rev.StorageCost(), revRetr: rev.StorageCost(),
+			delta: fwd,
 		}
-		if err := r.st.AddVersion(v, parent, fe, fwd, lines); err != nil {
+		if err := r.commitJournaled(rec, func() error {
+			return r.applyChild(v, parent, fwd, lines, rec)
+		}); err != nil {
 			return 0, err
 		}
-		// Incremental cost bookkeeping: the only stored path into v is the
-		// appended parent delta, so R(v) = R(parent) + r_fwd exactly.
-		rv := r.retr[parent] + r.g.Edge(fe).Retrieval
-		r.retr = append(r.retr, rv)
-		r.planCost.Storage += r.g.Edge(fe).Storage
-		r.planCost.SumRetrieval += rv
-		if rv > r.planCost.MaxRetrieval {
-			r.planCost.MaxRetrieval = rv
-		}
 	}
-	r.sinceReplan++
-	if r.opt.ReplanEvery > 0 && r.sinceReplan >= r.opt.ReplanEvery {
-		r.replanLocked(ctx)
+	r.stateMu.RLock()
+	due := r.opt.ReplanEvery > 0 && r.sinceReplan >= r.opt.ReplanEvery
+	r.stateMu.RUnlock()
+	if due {
+		r.replanUnderCommitMu(ctx)
 	}
 	return v, nil
+}
+
+// commitJournaled runs one commit write-ahead: the journal record is
+// appended before apply runs, so an acknowledged commit is always
+// recoverable; if apply fails, the record is rolled back so a failed
+// commit leaves no ghost in the journal (a duplicate version id would
+// make replay reject the whole journal). If even the rollback fails,
+// the repository closes itself rather than let the journal and the live
+// state diverge. commitMu is held.
+func (r *Repository) commitJournaled(rec walRecord, apply func() error) error {
+	if r.wal == nil {
+		return apply()
+	}
+	off, err := r.wal.offset()
+	if err != nil {
+		return fmt.Errorf("versioning: positioning journal: %w", err)
+	}
+	if err := r.wal.append(rec); err != nil {
+		return err
+	}
+	if err := apply(); err != nil {
+		if terr := r.wal.truncate(off); terr != nil {
+			r.closed = true
+			return fmt.Errorf("versioning: %v (journal rollback failed: %v; repository closed)", err, terr)
+		}
+		return err
+	}
+	return nil
+}
+
+// applyRoot publishes root version v with the given content; commitMu is
+// held. The store write happens before the brief stateMu critical
+// section, so readers never block on object I/O.
+func (r *Repository) applyRoot(v NodeID, lines []string, nodeStorage Cost) error {
+	if err := r.st.AddMaterialized(v, lines); err != nil {
+		return err
+	}
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	r.g.AddNode(nodeStorage)
+	r.plan.Materialized = append(r.plan.Materialized, true)
+	// Incremental cost bookkeeping: a materialized root adds its own
+	// storage and retrieves for free.
+	r.retr = append(r.retr, 0)
+	r.planCost.Storage += nodeStorage
+	r.sinceReplan++
+	return nil
+}
+
+// applyChild publishes version v as parent + the forward delta d, with
+// edge costs from rec; commitMu is held. lines (when non-nil) seeds the
+// checkout cache.
+func (r *Repository) applyChild(v, parent NodeID, d diff.Delta, lines []string, rec walRecord) error {
+	fe := EdgeID(r.g.M())
+	if err := r.st.AddVersion(v, parent, fe, d, lines); err != nil {
+		return err
+	}
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	r.g.AddNode(rec.nodeStorage)
+	gfe := r.g.AddEdge(parent, v, rec.fwdStorage, rec.fwdRetr)
+	gre := r.g.AddEdge(v, parent, rec.revStorage, rec.revRetr)
+	if gfe != fe || gre != fe+1 {
+		return fmt.Errorf("versioning: internal edge id drift (%d, %d)", gfe, gre)
+	}
+	r.plan.Materialized = append(r.plan.Materialized, false)
+	r.plan.Stored = append(r.plan.Stored, true, false)
+	// Incremental cost bookkeeping: the only stored path into v is the
+	// appended parent delta, so R(v) = R(parent) + r_fwd exactly.
+	rv := r.retr[parent] + rec.fwdRetr
+	r.retr = append(r.retr, rv)
+	r.planCost.Storage += rec.fwdStorage
+	r.planCost.SumRetrieval += rv
+	if rv > r.planCost.MaxRetrieval {
+		r.planCost.MaxRetrieval = rv
+	}
+	r.sinceReplan++
+	return nil
 }
 
 // Checkout reconstructs version v's full content under the current plan.
@@ -199,28 +385,41 @@ func (r *Repository) CheckoutBatch(ctx context.Context, ids []NodeID) []Checkout
 // Replan forces a portfolio re-solve of the configured regime and
 // migrates the store to the winning plan.
 func (r *Repository) Replan(ctx context.Context) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.replanLocked(ctx)
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.replanUnderCommitMu(ctx)
+	r.stateMu.RLock()
+	defer r.stateMu.RUnlock()
 	return r.replanErr
 }
 
-// replanLocked re-solves and migrates; r.mu is held. Failures leave the
-// current plan serving and are recorded for Stats.
-func (r *Repository) replanLocked(ctx context.Context) {
-	r.sinceReplan = 0
+// replanUnderCommitMu re-solves and migrates; commitMu is held, so r.g
+// cannot change under the solver, but stateMu is NOT held across the
+// solver race or the store migration — readers and checkouts proceed
+// throughout. Failures leave the current plan serving and are recorded
+// for Stats.
+func (r *Repository) replanUnderCommitMu(ctx context.Context) {
+	finish := func(err error) {
+		r.stateMu.Lock()
+		r.sinceReplan = 0
+		r.replanErr = err
+		r.stateMu.Unlock()
+	}
 	if r.g.N() == 0 {
-		r.replanErr = nil
+		finish(nil)
 		return
 	}
-	constraint, err := r.constraintLocked()
+	constraint, err := r.constraintUnderCommitMu()
 	if err != nil {
-		r.replanErr = err
+		finish(err)
 		return
 	}
 	res, err := r.eng.Solve(ctx, r.g, r.opt.Problem, constraint)
 	if err != nil {
-		r.replanErr = fmt.Errorf("versioning: re-plan %s(%d): %w", r.opt.Problem, constraint, err)
+		finish(fmt.Errorf("versioning: re-plan %s(%d): %w", r.opt.Problem, constraint, err))
 		return
 	}
 	memo := make(map[NodeID][]string, r.g.N())
@@ -236,21 +435,24 @@ func (r *Repository) replanLocked(ctx context.Context) {
 		return l, nil
 	}
 	if err := r.st.Install(r.g, res.Solution.Plan, content); err != nil {
-		r.replanErr = fmt.Errorf("versioning: migrating to new plan: %w", err)
+		finish(fmt.Errorf("versioning: migrating to new plan: %w", err))
 		return
 	}
+	r.stateMu.Lock()
 	r.plan = res.Solution.Plan
 	r.planCost = res.Solution.Cost
 	r.retr = r.plan.Retrievals(r.g)
 	r.constraint = constraint
 	r.winner = res.Winner
 	r.replans++
+	r.sinceReplan = 0
 	r.replanErr = nil
+	r.stateMu.Unlock()
 }
 
-// constraintLocked resolves the regime constraint: the configured bound,
-// or an automatic one derived from the minimum-storage plan.
-func (r *Repository) constraintLocked() (Cost, error) {
+// constraintUnderCommitMu resolves the regime constraint: the configured
+// bound, or an automatic one derived from the minimum-storage plan.
+func (r *Repository) constraintUnderCommitMu() (Cost, error) {
 	if r.opt.Constraint != 0 {
 		return r.opt.Constraint, nil
 	}
@@ -276,20 +478,21 @@ func (r *Repository) constraintLocked() (Cost, error) {
 
 // Plan returns a copy of the currently installed plan.
 func (r *Repository) Plan() *Plan {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.RLock()
+	defer r.stateMu.RUnlock()
 	return r.plan.Clone()
 }
 
 // Summary renders the currently installed plan as the shared PlanSummary
 // JSON shape (also served by dsvd's /plan endpoint). It is built from
 // the repository's incrementally maintained cost state — no solver or
-// shortest-path work runs, so polling it is cheap. The Constraint field
-// is the bound resolved at the last re-plan (0 before the first one when
+// shortest-path work runs, and only the state read lock is taken, so
+// polling it is cheap even mid-re-plan. The Constraint field is the
+// bound resolved at the last re-plan (0 before the first one when
 // auto-derived).
 func (r *Repository) Summary() PlanSummary {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.RLock()
+	defer r.stateMu.RUnlock()
 	s := PlanSummary{
 		Graph:        r.g.Name,
 		Problem:      r.opt.Problem.String(),
@@ -334,13 +537,14 @@ type RepositoryStats struct {
 	Checkouts      int64 `json:"checkouts"`
 	CacheHits      int64 `json:"cache_hits"`
 	DeltaApplies   int64 `json:"delta_applies"`
+	PlanRetries    int64 `json:"plan_retries"` // checkouts re-snapshotted after racing a migration
 }
 
 // Stats reports the repository's current state and traffic counters.
 func (r *Repository) Stats() RepositoryStats {
 	ss := r.st.Stats()
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.stateMu.RLock()
+	defer r.stateMu.RUnlock()
 	st := RepositoryStats{
 		Name:           r.g.Name,
 		Versions:       r.g.N(),
@@ -361,6 +565,7 @@ func (r *Repository) Stats() RepositoryStats {
 		Checkouts:      ss.Checkouts,
 		CacheHits:      ss.CacheHits,
 		DeltaApplies:   ss.DeltaApplies,
+		PlanRetries:    ss.PlanRetries,
 	}
 	if r.replanErr != nil {
 		st.ReplanError = r.replanErr.Error()

@@ -207,12 +207,12 @@ func TestRepositoryManualReplan(t *testing.T) {
 	}
 	verifyAll(t, r, src) // incremental chain alone must already serve
 	// The incrementally maintained cost must match a full evaluation.
-	r.mu.Lock()
+	r.stateMu.Lock()
 	if want := Evaluate(r.g, r.plan); r.planCost != want {
-		r.mu.Unlock()
+		r.stateMu.Unlock()
 		t.Fatalf("incremental plan cost %+v, full evaluation %+v", r.planCost, want)
 	}
-	r.mu.Unlock()
+	r.stateMu.Unlock()
 	if err := r.Replan(context.Background()); err != nil {
 		t.Fatal(err)
 	}

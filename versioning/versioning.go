@@ -39,8 +39,11 @@
 // (deltas weighed by Myers edit scripts), periodically re-plans through
 // the Engine, migrates its stored objects to each winning plan, and
 // reconstructs any version on Checkout — with LRU caching, singleflight
-// deduplication and batch support (see NewRepository, and cmd/dsvd for
-// the HTTP serving daemon).
+// deduplication and batch support. It runs on pluggable object backends
+// (sharded memory by default, durable disk via Open + DataDir, which
+// adds a write-ahead commit journal replayed on restart) and splits its
+// locking so checkouts and stats never wait on re-plans (see
+// NewRepository and Open, and cmd/dsvd for the HTTP serving daemon).
 package versioning
 
 import (

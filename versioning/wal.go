@@ -1,0 +1,219 @@
+package versioning
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/diff"
+	"repro/internal/store"
+)
+
+// The write-ahead commit journal is the repository's durable history:
+// one self-contained record per commit — ids, graph costs, and the
+// content (a full blob for roots, the forward edit script otherwise) —
+// so Open can rebuild the version graph and the incremental storage
+// chain without any solver or diff work. The installed *plan* is
+// deliberately not journaled: it is derived state the engine re-solves
+// after a restart, while the journal only ever grows by appends, which
+// keeps every record independent of migrations and GC.
+//
+// Framing: an 8-byte magic header, then per record a uvarint payload
+// length, a little-endian CRC32C of the payload, and the payload. A
+// crash can only tear the final record; openWAL detects the damage via
+// the checksum/length and truncates the tail, so a record is either
+// fully durable or invisible — never half-applied.
+
+// walMagic identifies journal files (and their format version).
+var walMagic = []byte("DSVWAL1\n")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// walRecord is one committed version.
+type walRecord struct {
+	v           NodeID
+	parent      NodeID // NoParent for a root
+	nodeStorage Cost
+	fwdStorage  Cost // forward-edge costs (parent -> v); zero for roots
+	fwdRetr     Cost
+	revStorage  Cost // reverse-edge costs (v -> parent); zero for roots
+	revRetr     Cost
+	lines       []string   // root content (parent == NoParent)
+	delta       diff.Delta // forward edit script otherwise
+}
+
+// encode serializes rec's payload (without framing).
+func (rec walRecord) encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(rec.v))
+	buf = binary.AppendUvarint(buf, uint64(rec.parent+1)) // NoParent (-1) -> 0
+	buf = binary.AppendUvarint(buf, uint64(rec.nodeStorage))
+	if rec.parent == NoParent {
+		return append(buf, store.EncodeBlob(rec.lines)...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(rec.fwdStorage))
+	buf = binary.AppendUvarint(buf, uint64(rec.fwdRetr))
+	buf = binary.AppendUvarint(buf, uint64(rec.revStorage))
+	buf = binary.AppendUvarint(buf, uint64(rec.revRetr))
+	return append(buf, store.EncodeDelta(rec.delta)...)
+}
+
+// decodeWALRecord reverses walRecord.encode.
+func decodeWALRecord(b []byte) (walRecord, error) {
+	var rec walRecord
+	var v, parent, nodeStorage uint64
+	var err error
+	if v, b, err = walUvarint(b); err != nil {
+		return rec, err
+	}
+	if parent, b, err = walUvarint(b); err != nil {
+		return rec, err
+	}
+	if nodeStorage, b, err = walUvarint(b); err != nil {
+		return rec, err
+	}
+	rec.v, rec.parent, rec.nodeStorage = NodeID(v), NodeID(parent)-1, Cost(nodeStorage)
+	if rec.parent == NoParent {
+		rec.lines, err = store.DecodeBlob(b)
+		return rec, err
+	}
+	for _, f := range []*Cost{&rec.fwdStorage, &rec.fwdRetr, &rec.revStorage, &rec.revRetr} {
+		var x uint64
+		if x, b, err = walUvarint(b); err != nil {
+			return rec, err
+		}
+		*f = Cost(x)
+	}
+	rec.delta, err = store.DecodeDelta(b)
+	return rec, err
+}
+
+// walUvarint consumes one uvarint from b.
+func walUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errors.New("versioning: journal record: bad varint")
+	}
+	return v, b[n:], nil
+}
+
+// wal is an append-only commit journal open for writing.
+type wal struct {
+	f    *os.File
+	sync bool // fsync every append (otherwise only on Close)
+}
+
+// openWAL opens (creating if needed) the journal at path, returns every
+// intact record, truncates any torn tail left by a crash, and positions
+// the file for appends. truncated reports how many trailing bytes were
+// discarded.
+func openWAL(path string, syncEvery bool) (w *wal, recs []walRecord, truncated int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("versioning: opening journal: %w", err)
+	}
+	// Sync the parent directory entry once, or a machine crash could
+	// lose the whole freshly created journal file even though every
+	// append was fsynced.
+	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("versioning: reading journal: %w", err)
+	}
+	good := int64(0)
+	if len(data) == 0 {
+		if _, err := f.Write(walMagic); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("versioning: initializing journal: %w", err)
+		}
+		good = int64(len(walMagic))
+	} else {
+		if len(data) < len(walMagic) || string(data[:len(walMagic)]) != string(walMagic) {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("versioning: %s is not a commit journal", path)
+		}
+		b := data[len(walMagic):]
+		good = int64(len(walMagic))
+		for len(b) > 0 {
+			n, rest, uerr := walUvarint(b)
+			// Bounds-check without computing 4+n: a corrupt length varint
+			// near 2^64 would overflow the sum and panic the slice below.
+			if uerr != nil || uint64(len(rest)) < 4 || uint64(len(rest))-4 < n {
+				break // torn length or payload
+			}
+			want := binary.LittleEndian.Uint32(rest[:4])
+			payload := rest[4 : 4+n]
+			if crc32.Checksum(payload, crcTable) != want {
+				break // torn or corrupt payload
+			}
+			rec, derr := decodeWALRecord(payload)
+			if derr != nil {
+				break // undecodable: treat like a torn tail
+			}
+			recs = append(recs, rec)
+			consumed := int64(len(b) - len(rest) + 4 + int(n))
+			good += consumed
+			b = rest[4+n:]
+		}
+	}
+	truncated = int64(len(data)) - good
+	if truncated > 0 {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("versioning: truncating torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	return &wal{f: f, sync: syncEvery}, recs, truncated, nil
+}
+
+// append frames and writes one record in a single Write call.
+func (w *wal) append(rec walRecord) error {
+	payload := rec.encode()
+	buf := binary.AppendUvarint(nil, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	buf = append(buf, payload...)
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("versioning: journaling commit %d: %w", rec.v, err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("versioning: syncing journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// offset reports the current append position (for rollback).
+func (w *wal) offset() (int64, error) {
+	return w.f.Seek(0, io.SeekCurrent)
+}
+
+// truncate rolls the journal back to off, discarding records appended
+// after it.
+func (w *wal) truncate(off int64) error {
+	if err := w.f.Truncate(off); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(off, io.SeekStart)
+	return err
+}
+
+// Close syncs and closes the journal.
+func (w *wal) Close() error {
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
