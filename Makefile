@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz serve serve-durable
+.PHONY: all build vet lint test race bench fuzz cover serve serve-durable load
 
 all: vet build test
 
@@ -9,6 +9,14 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Lint: gofmt must be clean, vet must pass, and staticcheck runs when
+# installed (CI installs it; locally it is optional).
+lint: vet
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -21,6 +29,15 @@ bench:
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzJSONRoundTrip -fuzztime=30s ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=30s ./versioning
+
+# Coverage for the storage + versioning core with the CI floor applied.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/store/...,./versioning/... ./internal/store/... ./versioning/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "combined store+versioning coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t+0 >= 70.0 ? 0 : 1) }' || \
+		{ echo "coverage $$total% is below the 70% floor"; exit 1; }
 
 # Run the dsvd serving daemon with a small preloaded demo history.
 serve:
@@ -30,3 +47,20 @@ serve:
 # committed history survives.
 serve-durable:
 	$(GO) run ./cmd/dsvd -addr :8080 -demo 40 -data-dir ./dsvd-data
+
+# Load smoke: boot a durable dsvd, drive a 10s mixed workload through
+# dsvload, fail on any operation error, and leave BENCH_load.json
+# behind. CI runs this as the load-smoke job.
+LOAD_ADDR ?= 127.0.0.1:8321
+load:
+	@set -e; tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/dsvd ./cmd/dsvd; \
+	$(GO) build -o $$tmp/dsvload ./cmd/dsvload; \
+	$$tmp/dsvd -addr $(LOAD_ADDR) -data-dir $$tmp/data & pid=$$!; \
+	ok=""; for i in $$(seq 1 50); do \
+		if $$tmp/dsvload -addr http://$(LOAD_ADDR) -mix checkout -duration 0s -preload 1 -out - >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.2; done; \
+	[ -n "$$ok" ] || { echo "dsvd did not become healthy"; exit 1; }; \
+	$$tmp/dsvload -addr http://$(LOAD_ADDR) -mix mixed -duration 10s -concurrency 8 \
+		-preload 32 -out BENCH_load.json -fail-on-error; \
+	kill $$pid; wait $$pid 2>/dev/null || true

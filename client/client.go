@@ -1,0 +1,286 @@
+// Package client is the typed Go client for the dsvd HTTP API
+// (package serve). It is built for serving-scale callers:
+//
+//   - Connection pooling: one shared http.Transport with keep-alives,
+//     sized for many concurrent requests to one daemon.
+//   - Per-request timeouts: every attempt runs under its own deadline
+//     derived from the caller's context.
+//   - Retry with exponential backoff + jitter on transport errors, 429
+//     and 5xx responses, honoring the server's Retry-After hint. Commits
+//     are never retried after a transport error once the request may
+//     have reached the server (a commit is not idempotent), but any
+//     received error status means the commit did not apply, so those
+//     retry safely.
+//   - Transparent batch coalescing: concurrent Checkout calls inside a
+//     small window are merged into one batch POST /checkout and the
+//     results fanned back out, turning N HTTP round trips from a
+//     checkout stampede into one.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/serve"
+	"repro/versioning"
+)
+
+// Options tunes a Client. The zero value gives production defaults.
+type Options struct {
+	// HTTPClient overrides the pooled default (e.g. for tests or custom
+	// TLS). Its Timeout is ignored; per-attempt deadlines come from
+	// RequestTimeout.
+	HTTPClient *http.Client
+	// RequestTimeout bounds each HTTP attempt (0 = 10s).
+	RequestTimeout time.Duration
+	// MaxRetries bounds retries after the first attempt (0 = 3;
+	// negative disables retrying).
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff (0 = 50ms); jitter of
+	// up to one base delay is added per attempt.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff (0 = 2s). A larger server
+	// Retry-After hint overrides the cap.
+	RetryMaxDelay time.Duration
+	// CoalesceWindow is how long a Checkout waits to merge with
+	// concurrent calls into one batch request (0 = 2ms; negative
+	// disables coalescing so every Checkout is its own GET).
+	CoalesceWindow time.Duration
+	// CoalesceMax flushes a pending batch early once it holds this many
+	// ids (0 = 128).
+	CoalesceMax int
+}
+
+// Client talks to one dsvd daemon. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+	opt  Options
+	co   *coalescer
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opt Options) *Client {
+	if opt.RequestTimeout <= 0 {
+		opt.RequestTimeout = 10 * time.Second
+	}
+	if opt.MaxRetries == 0 {
+		opt.MaxRetries = 3
+	}
+	if opt.MaxRetries < 0 {
+		opt.MaxRetries = 0
+	}
+	if opt.RetryBaseDelay <= 0 {
+		opt.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if opt.RetryMaxDelay <= 0 {
+		opt.RetryMaxDelay = 2 * time.Second
+	}
+	if opt.CoalesceMax <= 0 {
+		opt.CoalesceMax = 128
+	}
+	var hc *http.Client
+	if opt.HTTPClient != nil {
+		// Work on a copy with Timeout cleared: per-attempt deadlines come
+		// from RequestTimeout, and a lingering client-wide Timeout would
+		// silently cap every attempt below it.
+		cp := *opt.HTTPClient
+		cp.Timeout = 0
+		hc = &cp
+	} else {
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, opt: opt}
+	window := opt.CoalesceWindow
+	if window == 0 {
+		window = 2 * time.Millisecond
+	}
+	if window > 0 {
+		c.co = newCoalescer(c, window, opt.CoalesceMax)
+	}
+	return c
+}
+
+// Close flushes any pending coalesced batch and releases idle pooled
+// connections. The client must not be used afterwards.
+func (c *Client) Close() {
+	if c.co != nil {
+		c.co.flushPending()
+	}
+	c.hc.CloseIdleConnections()
+}
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dsvd: HTTP %d: %s", e.Status, e.Message)
+}
+
+// CommitResult reports an acknowledged commit.
+type CommitResult struct {
+	ID       versioning.NodeID `json:"id"`
+	Versions int               `json:"versions"`
+}
+
+// Commit appends a version deriving from parent (versioning.NoParent
+// for a root) with the given full content.
+func (c *Client) Commit(ctx context.Context, parent versioning.NodeID, lines []string) (CommitResult, error) {
+	var out CommitResult
+	req := struct {
+		Parent versioning.NodeID `json:"parent"`
+		Lines  []string          `json:"lines"`
+	}{Parent: parent, Lines: lines}
+	err := c.doJSON(ctx, http.MethodPost, "/commit", req, &out, false)
+	return out, err
+}
+
+// Checkout reconstructs version id's full content. Concurrent calls
+// within the coalescing window ride one batch request.
+func (c *Client) Checkout(ctx context.Context, id versioning.NodeID) ([]string, error) {
+	if c.co != nil {
+		return c.co.checkout(ctx, id)
+	}
+	return c.checkoutDirect(ctx, id)
+}
+
+func (c *Client) checkoutDirect(ctx context.Context, id versioning.NodeID) ([]string, error) {
+	var out struct {
+		Lines []string `json:"lines"`
+	}
+	if err := c.doJSON(ctx, http.MethodGet, fmt.Sprintf("/checkout/%d", id), nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out.Lines, nil
+}
+
+// CheckoutResult is one CheckoutBatch outcome.
+type CheckoutResult struct {
+	ID    versioning.NodeID
+	Lines []string
+	Err   error
+}
+
+// CheckoutBatch reconstructs many versions in one request; results are
+// positional.
+func (c *Client) CheckoutBatch(ctx context.Context, ids []versioning.NodeID) ([]CheckoutResult, error) {
+	raw, err := c.checkoutBatchRaw(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CheckoutResult, len(raw))
+	for i, item := range raw {
+		out[i] = CheckoutResult{ID: item.ID, Lines: item.Lines}
+		if item.Error != "" {
+			out[i].Err = item.apiError()
+		}
+	}
+	return out, nil
+}
+
+type batchItem struct {
+	ID     versioning.NodeID `json:"id"`
+	Lines  []string          `json:"lines"`
+	Error  string            `json:"error,omitempty"`
+	Status int               `json:"status,omitempty"`
+}
+
+// apiError turns a failed batch item into the typed error both the
+// coalesced and direct batch paths return. The status comes from the
+// server (older daemons omit it, which maps to a plain 500).
+func (it batchItem) apiError() *APIError {
+	status := it.Status
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	return &APIError{Status: status, Message: it.Error}
+}
+
+func (c *Client) checkoutBatchRaw(ctx context.Context, ids []versioning.NodeID) ([]batchItem, error) {
+	req := struct {
+		IDs []versioning.NodeID `json:"ids"`
+	}{IDs: ids}
+	var out []batchItem
+	if err := c.doJSON(ctx, http.MethodPost, "/checkout", req, &out, true); err != nil {
+		return nil, err
+	}
+	if len(out) != len(ids) {
+		return nil, fmt.Errorf("dsvd: batch checkout returned %d results for %d ids", len(out), len(ids))
+	}
+	return out, nil
+}
+
+// Plan fetches the currently installed plan summary.
+func (c *Client) Plan(ctx context.Context) (versioning.PlanSummary, error) {
+	var out versioning.PlanSummary
+	err := c.doJSON(ctx, http.MethodGet, "/plan", nil, &out, true)
+	return out, err
+}
+
+// Replan forces a portfolio re-solve and store migration now.
+func (c *Client) Replan(ctx context.Context) (versioning.PlanSummary, error) {
+	var out versioning.PlanSummary
+	err := c.doJSON(ctx, http.MethodPost, "/replan", struct{}{}, &out, true)
+	return out, err
+}
+
+// Stats fetches the repository's serving statistics.
+func (c *Client) Stats(ctx context.Context) (versioning.RepositoryStats, error) {
+	var out versioning.RepositoryStats
+	err := c.doJSON(ctx, http.MethodGet, "/stats", nil, &out, true)
+	return out, err
+}
+
+// Statsz fetches the server's per-endpoint traffic counters.
+func (c *Client) Statsz(ctx context.Context) (serve.Statsz, error) {
+	var out serve.Statsz
+	err := c.doJSON(ctx, http.MethodGet, "/statsz", nil, &out, true)
+	return out, err
+}
+
+// Healthz probes daemon liveness, returning the served version count.
+func (c *Client) Healthz(ctx context.Context) (int, error) {
+	var out struct {
+		Versions int `json:"versions"`
+	}
+	err := c.doJSON(ctx, http.MethodGet, "/healthz", nil, &out, true)
+	return out.Versions, err
+}
+
+// readErrorBody extracts the server's error message from a non-2xx
+// response body (falling back to the raw body or status text).
+func readErrorBody(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	if msg := strings.TrimSpace(string(body)); msg != "" {
+		return msg
+	}
+	return http.StatusText(resp.StatusCode)
+}
+
+// marshalBody renders in as a fresh reader (bodies must be rebuildable
+// per retry attempt).
+func marshalBody(in any) ([]byte, error) {
+	if in == nil {
+		return nil, nil
+	}
+	return json.Marshal(in)
+}

@@ -1,0 +1,395 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/repogen"
+	"repro/serve"
+	"repro/versioning"
+)
+
+// liveServer starts a real serve.Server over an in-memory repository
+// preloaded with n committed versions, wrapped so tests can count the
+// HTTP requests that actually reach each endpoint.
+func liveServer(t *testing.T, n int) (*httptest.Server, *repogen.Repo, *requestCounts) {
+	t.Helper()
+	repo := versioning.NewRepository("client-test", versioning.RepositoryOptions{
+		ReplanEvery:   4,
+		EngineOptions: versioning.EngineOptions{SolverTimeout: 10 * time.Second, DisableILP: true},
+	})
+	src := repogen.GenerateRepo("client-src", n, 11)
+	for v := 0; v < src.Graph.N(); v++ {
+		if _, err := repo.Commit(context.Background(), src.Parents[v], src.Contents[v]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := &requestCounts{}
+	inner := serve.New(repo, serve.Options{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		counts.total.Add(1)
+		if r.Method == http.MethodPost && r.URL.Path == "/checkout" {
+			counts.batch.Add(1)
+		}
+		if r.Method == http.MethodGet && len(r.URL.Path) > len("/checkout/") && r.URL.Path[:len("/checkout/")] == "/checkout/" {
+			counts.single.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, src, counts
+}
+
+type requestCounts struct {
+	total, batch, single atomic.Int64
+}
+
+// leakCheck snapshots the goroutine count and fails the test if, after
+// cleanup, more goroutines remain than before (with settling time for
+// pool and timer teardown).
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			runtime.GC()
+			if n := runtime.NumGoroutine(); n <= before {
+				return
+			} else if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, n, buf[:runtime.Stack(buf, true)])
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	})
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	leakCheck(t)
+	ts, src, _ := liveServer(t, 12)
+	c := New(ts.URL, Options{})
+	defer c.Close()
+	ctx := context.Background()
+
+	if v, err := c.Healthz(ctx); err != nil || v != 12 {
+		t.Fatalf("Healthz = %d, %v", v, err)
+	}
+	cr, err := c.Commit(ctx, 0, []string{"a branch", "off the root"})
+	if err != nil || cr.ID != 12 || cr.Versions != 13 {
+		t.Fatalf("Commit = %+v, %v", cr, err)
+	}
+	lines, err := c.Checkout(ctx, 12)
+	if err != nil || !reflect.DeepEqual(lines, []string{"a branch", "off the root"}) {
+		t.Fatalf("Checkout(12) = %v, %v", lines, err)
+	}
+	for v := 0; v < 12; v++ {
+		lines, err := c.Checkout(ctx, versioning.NodeID(v))
+		if err != nil || !reflect.DeepEqual(lines, src.Contents[v]) {
+			t.Fatalf("Checkout(%d) mismatch: %v", v, err)
+		}
+	}
+	batch, err := c.CheckoutBatch(ctx, []versioning.NodeID{3, 7, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{3, 7, 3} {
+		if batch[i].Err != nil || !reflect.DeepEqual(batch[i].Lines, src.Contents[want]) {
+			t.Fatalf("batch[%d] = %+v", i, batch[i])
+		}
+	}
+	if plan, err := c.Plan(ctx); err != nil || plan.Versions != 13 {
+		t.Fatalf("Plan = %+v, %v", plan, err)
+	}
+	if stats, err := c.Stats(ctx); err != nil || stats.Versions != 13 {
+		t.Fatalf("Stats = %+v, %v", stats, err)
+	}
+	if sz, err := c.Statsz(ctx); err != nil || sz.Endpoints["commit"].Requests != 1 {
+		t.Fatalf("Statsz = %+v, %v", sz, err)
+	}
+	if _, err := c.Replan(ctx); err != nil {
+		t.Fatalf("Replan: %v", err)
+	}
+	// Typed error for a missing version (direct, uncoalesced path).
+	cd := New(ts.URL, Options{CoalesceWindow: -1})
+	defer cd.Close()
+	_, err = cd.Checkout(ctx, 999)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("Checkout(999) = %v, want APIError 404", err)
+	}
+}
+
+func TestClientRetries5xxBurst(t *testing.T) {
+	leakCheck(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"replica catching up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"id":5,"lines":["ok"]}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Options{CoalesceWindow: -1, RetryBaseDelay: time.Millisecond, MaxRetries: 3})
+	defer c.Close()
+	lines, err := c.Checkout(context.Background(), 5)
+	if err != nil || !reflect.DeepEqual(lines, []string{"ok"}) {
+		t.Fatalf("Checkout = %v, %v", lines, err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + success)", calls.Load())
+	}
+}
+
+func TestClientRetryBudgetBounded(t *testing.T) {
+	leakCheck(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Options{CoalesceWindow: -1, RetryBaseDelay: time.Millisecond, MaxRetries: 2})
+	defer c.Close()
+	_, err := c.Checkout(context.Background(), 0)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want APIError 500", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d requests, want exactly 1 + MaxRetries(2)", calls.Load())
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	leakCheck(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{"id":0,"lines":["ok"]}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Options{CoalesceWindow: -1, RetryBaseDelay: time.Millisecond, RetryMaxDelay: 5 * time.Millisecond})
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Checkout(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v, want >= 1s from Retry-After", elapsed)
+	}
+}
+
+func TestClientPerRequestTimeout(t *testing.T) {
+	leakCheck(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select {
+			case <-time.After(2 * time.Second):
+			case <-r.Context().Done():
+			}
+			return
+		}
+		fmt.Fprint(w, `{"id":0,"lines":["fast"]}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Options{CoalesceWindow: -1, RequestTimeout: 60 * time.Millisecond, RetryBaseDelay: time.Millisecond})
+	defer c.Close()
+	lines, err := c.Checkout(context.Background(), 0)
+	if err != nil || !reflect.DeepEqual(lines, []string{"fast"}) {
+		t.Fatalf("Checkout = %v, %v (want retry past the hung attempt)", lines, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", calls.Load())
+	}
+}
+
+func TestClientRetriesTornResponse(t *testing.T) {
+	leakCheck(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Promise a long body, deliver half, drop the connection: the
+			// client sees a success status with an undecodable body.
+			w.Header().Set("Content-Length", "1000")
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, `{"id":0,"lin`)
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		fmt.Fprint(w, `{"id":0,"lines":["whole"]}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Options{CoalesceWindow: -1, RetryBaseDelay: time.Millisecond})
+	defer c.Close()
+	lines, err := c.Checkout(context.Background(), 0)
+	if err != nil || !reflect.DeepEqual(lines, []string{"whole"}) {
+		t.Fatalf("Checkout = %v, %v (want retry past torn response)", lines, err)
+	}
+}
+
+func TestClientCommitNotRetriedOnTransportError(t *testing.T) {
+	leakCheck(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		panic(http.ErrAbortHandler) // connection dropped mid-request
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Options{RetryBaseDelay: time.Millisecond})
+	defer c.Close()
+	_, err := c.Commit(context.Background(), versioning.NoParent, []string{"x"})
+	if err == nil {
+		t.Fatal("commit over dropped connection reported success")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("non-idempotent commit was resent %d times after a transport error", calls.Load()-1)
+	}
+}
+
+func TestClientCommitRetriedOn5xx(t *testing.T) {
+	leakCheck(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// An error *response* proves the commit did not apply.
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, `{"id":0,"versions":1}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Options{RetryBaseDelay: time.Millisecond})
+	defer c.Close()
+	cr, err := c.Commit(context.Background(), versioning.NoParent, []string{"x"})
+	if err != nil || cr.Versions != 1 {
+		t.Fatalf("Commit = %+v, %v", cr, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d commit requests, want 2", calls.Load())
+	}
+}
+
+func TestClientCoalescesConcurrentCheckouts(t *testing.T) {
+	leakCheck(t)
+	ts, src, counts := liveServer(t, 10)
+	c := New(ts.URL, Options{CoalesceWindow: 40 * time.Millisecond})
+	defer c.Close()
+	const callers = 24
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := versioning.NodeID(i % 10)
+			lines, err := c.Checkout(context.Background(), v)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !reflect.DeepEqual(lines, src.Contents[v]) {
+				errs[i] = fmt.Errorf("caller %d: wrong content for version %d", i, v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := counts.batch.Load(); got == 0 || got >= callers {
+		t.Fatalf("%d callers produced %d batch requests, want coalescing (0 < batches < callers)", callers, got)
+	}
+	if counts.single.Load() != 0 {
+		t.Fatalf("coalescing client still sent %d single GETs", counts.single.Load())
+	}
+	if _, merged := c.co.counters(); merged == 0 {
+		t.Fatal("no checkout calls were merged into an existing batch")
+	}
+}
+
+func TestClientCoalesceMaxFlushesEarly(t *testing.T) {
+	leakCheck(t)
+	ts, _, counts := liveServer(t, 8)
+	// Window far longer than the test: only the size trigger can flush.
+	c := New(ts.URL, Options{CoalesceWindow: 10 * time.Second, CoalesceMax: 4})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Checkout(context.Background(), versioning.NodeID(i%8)); err != nil {
+				t.Errorf("checkout %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := counts.batch.Load(); got != 2 {
+		t.Fatalf("8 checkouts with CoalesceMax=4 made %d batch requests, want 2", got)
+	}
+}
+
+func TestClientCoalescedErrorFanOut(t *testing.T) {
+	leakCheck(t)
+	ts, src, _ := liveServer(t, 6)
+	c := New(ts.URL, Options{CoalesceWindow: 40 * time.Millisecond})
+	defer c.Close()
+	var wg sync.WaitGroup
+	var goodErr, badErr error
+	var goodLines []string
+	wg.Add(2)
+	go func() { defer wg.Done(); goodLines, goodErr = c.Checkout(context.Background(), 2) }()
+	go func() { defer wg.Done(); _, badErr = c.Checkout(context.Background(), 500) }()
+	wg.Wait()
+	if goodErr != nil || !reflect.DeepEqual(goodLines, src.Contents[2]) {
+		t.Fatalf("good member of mixed batch: %v, %v", goodLines, goodErr)
+	}
+	var apiErr *APIError
+	if !errors.As(badErr, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("bad member of mixed batch: %v, want APIError 404", badErr)
+	}
+}
+
+func TestClientCheckoutContextCancelAbandonsSlot(t *testing.T) {
+	leakCheck(t)
+	ts, src, _ := liveServer(t, 4)
+	c := New(ts.URL, Options{CoalesceWindow: 60 * time.Millisecond})
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Checkout(ctx, 1)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let it join the pending batch
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled checkout returned %v", err)
+	}
+	// The batch still runs and serves other members correctly.
+	lines, err := c.Checkout(context.Background(), 2)
+	if err != nil || !reflect.DeepEqual(lines, src.Contents[2]) {
+		t.Fatalf("checkout after canceled sibling: %v, %v", lines, err)
+	}
+}

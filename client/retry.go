@@ -1,0 +1,138 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// retryable classifies one attempt's outcome.
+type attemptError struct {
+	err       error         // terminal or retryable error
+	retryable bool          // try again (budget permitting)
+	minDelay  time.Duration // server-provided Retry-After floor, if any
+}
+
+// doJSON performs method path with in as JSON body (nil for none),
+// decoding a 2xx response into out (nil to discard). idempotent marks
+// requests that are safe to resend after a transport error or a torn
+// response; non-idempotent requests (Commit) are only retried when an
+// HTTP error status proves the server did not apply them.
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	body, err := marshalBody(in)
+	if err != nil {
+		return fmt.Errorf("dsvd: encoding %s %s: %w", method, path, err)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		ae := c.attempt(ctx, method, path, body, out, idempotent)
+		if ae.err == nil {
+			return nil
+		}
+		lastErr = ae.err
+		if !ae.retryable || attempt >= c.opt.MaxRetries {
+			return lastErr
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, ae.minDelay)); err != nil {
+			return lastErr
+		}
+	}
+}
+
+// attempt runs one HTTP round trip under its own timeout.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, idempotent bool) attemptError {
+	actx, cancel := context.WithTimeout(ctx, c.opt.RequestTimeout)
+	defer cancel()
+	var rd *bytes.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	var req *http.Request
+	var err error
+	if rd != nil {
+		req, err = http.NewRequestWithContext(actx, method, c.base+path, rd)
+	} else {
+		req, err = http.NewRequestWithContext(actx, method, c.base+path, nil)
+	}
+	if err != nil {
+		return attemptError{err: fmt.Errorf("dsvd: building %s %s: %w", method, path, err)}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Transport error: the caller's context expiring is terminal; a
+		// per-attempt timeout or connection failure retries only when
+		// resending cannot double-apply the request.
+		if ctx.Err() != nil {
+			return attemptError{err: fmt.Errorf("dsvd: %s %s: %w", method, path, ctx.Err())}
+		}
+		return attemptError{
+			err:       fmt.Errorf("dsvd: %s %s: %w", method, path, err),
+			retryable: idempotent,
+		}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode, Message: readErrorBody(resp)}
+		// A received error status means the request was not applied, so
+		// even commits retry on overload (429) and server errors (5xx).
+		retry := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+		return attemptError{err: apiErr, retryable: retry, minDelay: retryAfterHint(resp)}
+	}
+	if out == nil {
+		return attemptError{}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		// Torn or malformed response body on a success status: the
+		// request applied but the answer was lost in transit. Reads can
+		// simply be reissued.
+		return attemptError{
+			err:       fmt.Errorf("dsvd: decoding %s %s response: %w", method, path, err),
+			retryable: idempotent,
+		}
+	}
+	return attemptError{}
+}
+
+// retryAfterHint parses a whole-seconds Retry-After header (0 if absent).
+func retryAfterHint(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// backoff computes the pause before retry attempt+1: exponential with
+// jitter of up to one base delay, capped, and floored by the server's
+// Retry-After hint. The top-level rand functions are concurrency-safe.
+func (c *Client) backoff(attempt int, minDelay time.Duration) time.Duration {
+	d := c.opt.RetryBaseDelay << uint(attempt)
+	if d > c.opt.RetryMaxDelay || d <= 0 {
+		d = c.opt.RetryMaxDelay
+	}
+	d += time.Duration(rand.Int63n(int64(c.opt.RetryBaseDelay) + 1))
+	if d < minDelay {
+		d = minDelay
+	}
+	return d
+}
+
+// sleep waits d or until ctx is done.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,69 @@
+// Command benchgate is the CI bench-regression gate: it compares two
+// `go test -bench` outputs (merge-base vs PR head) and exits nonzero
+// when the geometric-mean slowdown across the shared benchmarks
+// exceeds -threshold. benchstat prints the human-readable table in the
+// same job; benchgate owns the pass/fail decision.
+//
+//	go test -run='^$' -bench=Checkout -count=4 . > head.txt
+//	git checkout $(git merge-base origin/main HEAD)
+//	go test -run='^$' -bench=Checkout -count=4 . > base.txt
+//	benchgate -base base.txt -head head.txt -threshold 1.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchparse"
+)
+
+func main() {
+	var (
+		basePath  = flag.String("base", "", "bench output of the merge base")
+		headPath  = flag.String("head", "", "bench output of the PR head")
+		threshold = flag.Float64("threshold", 1.25, "max allowed geomean slowdown (head/base)")
+	)
+	flag.Parse()
+	if err := run(*basePath, *headPath, *threshold); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(basePath, headPath string, threshold float64) error {
+	if basePath == "" || headPath == "" {
+		return fmt.Errorf("both -base and -head are required")
+	}
+	parse := func(path string) (map[string][]float64, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return benchparse.Parse(f)
+	}
+	base, err := parse(basePath)
+	if err != nil {
+		return err
+	}
+	head, err := parse(headPath)
+	if err != nil {
+		return err
+	}
+	comps, geomean, err := benchparse.Compare(base, head)
+	if err != nil {
+		return err
+	}
+	for _, c := range comps {
+		fmt.Printf("%-55s %12.0f -> %12.0f ns/op  %+.1f%%\n",
+			c.Name, c.BaseNs, c.HeadNs, 100*(c.Ratio-1))
+	}
+	fmt.Printf("geomean over %d benchmarks: %+.1f%% (threshold %+.1f%%)\n",
+		len(comps), 100*(geomean-1), 100*(threshold-1))
+	if geomean > threshold {
+		return fmt.Errorf("geomean regression %.1f%% exceeds %.1f%%",
+			100*(geomean-1), 100*(threshold-1))
+	}
+	return nil
+}

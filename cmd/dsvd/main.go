@@ -1,8 +1,9 @@
 // Command dsvd is the dataset-versioning serving daemon: a Repository
-// behind HTTP. Clients commit versions and check them out; the daemon
-// keeps the storage layout optimal by re-solving the configured regime
-// through the portfolio engine every -replan-every commits and migrating
-// its content-addressed store to the winning plan.
+// behind HTTP (the handler stack lives in package serve). Clients
+// commit versions and check them out; the daemon keeps the storage
+// layout optimal by re-solving the configured regime through the
+// portfolio engine every -replan-every commits and migrating its
+// content-addressed store to the winning plan.
 //
 // Quick start:
 //
@@ -11,7 +12,7 @@
 //	curl -s localhost:8080/commit -d '{"parent":0,"lines":["v0 line","v1 line"]}'
 //	curl -s localhost:8080/checkout/1
 //	curl -s localhost:8080/plan
-//	curl -s localhost:8080/stats
+//	curl -s localhost:8080/statsz
 //
 // Storage is pluggable: by default versions live in a sharded in-memory
 // backend (-shards shards); with -data-dir the daemon runs on a durable
@@ -19,6 +20,12 @@
 // the journal so the full committed history survives a kill. SIGINT and
 // SIGTERM trigger a graceful shutdown: in-flight requests drain, then
 // the journal and backend are flushed.
+//
+// Serving is hardened for real traffic: admission control bounds
+// concurrent requests (-max-inflight, -max-queue, -queue-wait) and
+// sheds overload with 429 + Retry-After; concurrent checkouts of the
+// same version are singleflighted; per-endpoint latency/throughput
+// counters are served at /statsz. Drive it with cmd/dsvload.
 //
 // -demo N preloads a seeded synthetic history of N commits so /checkout
 // and /plan have something to serve immediately.
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/serve"
 	"repro/versioning"
 )
 
@@ -61,6 +69,10 @@ func run() error {
 		fsync       = flag.Bool("fsync", false, "fsync the commit journal on every commit (with -data-dir)")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-solver deadline inside re-planning races")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		maxInFlight = flag.Int("max-inflight", 0, "admission control: max concurrently executing requests (0 = 4*GOMAXPROCS, negative disables)")
+		maxQueue    = flag.Int("max-queue", 0, "admission control: waiting slots before load shedding (0 = 2*max-inflight)")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "admission control: max time a request queues for a slot")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 		ilp         = flag.Bool("ilp", false, "include the exact ILP in MSR re-planning races")
 		demo        = flag.Int("demo", 0, "preload a synthetic history of N commits")
 		demoSeed    = flag.Int64("demo-seed", 42, "seed for -demo")
@@ -104,7 +116,13 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: newServer(repo)}
+	handler := serve.New(repo, serve.Options{
+		MaxInFlight: *maxInFlight,
+		MaxQueue:    *maxQueue,
+		QueueWait:   *queueWait,
+		RetryAfter:  *retryAfter,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("dsvd: serving %s (constraint %d, re-plan every %d commits) on %s",

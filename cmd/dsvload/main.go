@@ -1,0 +1,388 @@
+// Command dsvload is the workload generator for dsvd: it drives a live
+// daemon through the typed client (repro/client) with configurable
+// operation mixes, version-popularity distributions, and open- or
+// closed-loop arrivals, then writes a machine-readable JSON report
+// (latency percentiles, throughput, error counts) for BENCH_load.json
+// and the CI load-smoke job.
+//
+// A typical run against a local daemon:
+//
+//	dsvd -addr :8080 &
+//	dsvload -addr http://localhost:8080 -mix checkout,mixed,commit \
+//	        -dist zipf -duration 10s -concurrency 16 -preload 64 \
+//	        -out BENCH_load.json
+//
+// Mixes:
+//
+//	checkout  100% checkouts over the committed versions
+//	commit    100% commits (each a child of a random existing version)
+//	mixed     90% checkout / 10% commit (tunable via -commit-ratio)
+//
+// -dist zipf skews checkout popularity toward recent versions (rank 0 =
+// newest) with exponent -zipf-s, the adversarial pattern that makes
+// caches, singleflight, and client-side coalescing earn their keep;
+// uniform spreads load evenly. -rate R switches from closed-loop
+// (workers issue the next request when the previous returns) to
+// open-loop (arrivals at R/s regardless of completions, the pattern
+// that exposes queueing collapse); arrivals that find all workers busy
+// and the backlog full are dropped and reported, so a drowning server
+// shows up as drops + shed 429s, not a stalled generator.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/metrics"
+	"repro/versioning"
+)
+
+type config struct {
+	addr        string
+	mixes       []string
+	dist        string
+	zipfS       float64
+	duration    time.Duration
+	concurrency int
+	rate        float64
+	commitRatio float64
+	preload     int
+	seed        int64
+	timeout     time.Duration
+	coalesce    time.Duration
+	out         string
+	failOnErr   bool
+}
+
+// validate rejects configurations that would silently measure
+// something other than what the report claims.
+func (cfg config) validate() error {
+	switch cfg.dist {
+	case "uniform":
+	case "zipf":
+		if cfg.zipfS <= 1 {
+			return fmt.Errorf("-zipf-s must be > 1 (got %g); rand.Zipf is undefined at s <= 1", cfg.zipfS)
+		}
+	default:
+		return fmt.Errorf("unknown -dist %q (want zipf|uniform)", cfg.dist)
+	}
+	if cfg.concurrency <= 0 {
+		return fmt.Errorf("-concurrency must be positive")
+	}
+	// The pacer is one goroutine on a time.Ticker; beyond ~100k/s it
+	// would drop ticks and silently under-deliver while the report still
+	// claims the configured rate, so refuse instead of misreporting.
+	if cfg.rate < 0 || cfg.rate > 100_000 {
+		return fmt.Errorf("-rate must be in [0, 100000] arrivals/s (got %g)", cfg.rate)
+	}
+	return nil
+}
+
+func main() {
+	var cfg config
+	var mixList string
+	flag.StringVar(&cfg.addr, "addr", "http://localhost:8080", "dsvd base URL")
+	flag.StringVar(&mixList, "mix", "checkout,mixed,commit", "comma-separated workload mixes: checkout|commit|mixed")
+	flag.StringVar(&cfg.dist, "dist", "zipf", "version popularity: zipf|uniform")
+	flag.Float64Var(&cfg.zipfS, "zipf-s", 1.2, "zipf exponent (>1; larger = more skew)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "run length per mix")
+	flag.IntVar(&cfg.concurrency, "concurrency", 16, "concurrent workers")
+	flag.Float64Var(&cfg.rate, "rate", 0, "open-loop arrivals per second (0 = closed loop)")
+	flag.Float64Var(&cfg.commitRatio, "commit-ratio", 0.1, "commit fraction of the mixed workload")
+	flag.IntVar(&cfg.preload, "preload", 64, "ensure at least this many committed versions before loading")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
+	flag.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request client timeout")
+	flag.DurationVar(&cfg.coalesce, "coalesce", -1, "client batch-coalescing window; negative (default) disables it so latencies measure the server, not the client's batching delay")
+	flag.StringVar(&cfg.out, "out", "BENCH_load.json", "report path (- for stdout only)")
+	flag.BoolVar(&cfg.failOnErr, "fail-on-error", false, "exit nonzero if any operation errored")
+	flag.Parse()
+	for _, m := range strings.Split(mixList, ",") {
+		cfg.mixes = append(cfg.mixes, strings.TrimSpace(m))
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsvload: %v\n", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsvload: encoding report: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	os.Stdout.Write(buf)
+	if cfg.out != "" && cfg.out != "-" {
+		if err := os.WriteFile(cfg.out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dsvload: writing %s: %v\n", cfg.out, err)
+			os.Exit(1)
+		}
+	}
+	if cfg.failOnErr {
+		var errs int64
+		for _, m := range rep.Mixes {
+			errs += m.Errors
+		}
+		if errs > 0 {
+			fmt.Fprintf(os.Stderr, "dsvload: %d operations errored\n", errs)
+			os.Exit(2)
+		}
+	}
+}
+
+// runLoad preloads the target and runs every configured mix in turn.
+func runLoad(cfg config) (Report, error) {
+	if err := cfg.validate(); err != nil {
+		return Report{}, err
+	}
+	c := client.New(cfg.addr, client.Options{
+		RequestTimeout: cfg.timeout,
+		CoalesceWindow: cfg.coalesce,
+	})
+	defer c.Close()
+	ctx := context.Background()
+	versions, err := c.Healthz(ctx)
+	if err != nil {
+		return Report{}, fmt.Errorf("probing %s: %w", cfg.addr, err)
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	for versions < cfg.preload {
+		parent := versioning.NodeID(versions - 1)
+		if versions == 0 {
+			parent = versioning.NoParent
+		}
+		cr, err := c.Commit(ctx, parent, synthLines(rng, versions))
+		if err != nil {
+			return Report{}, fmt.Errorf("preloading version %d: %w", versions, err)
+		}
+		versions = cr.Versions
+	}
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Addr:        cfg.addr,
+		Seed:        cfg.seed,
+		Dist:        cfg.dist,
+		Concurrency: cfg.concurrency,
+	}
+	if cfg.coalesce >= 0 {
+		rep.CoalesceWindowMS = float64(cfg.coalesce) / float64(time.Millisecond)
+		rep.Coalescing = true
+	}
+	for i, mix := range cfg.mixes {
+		mr, err := runMix(c, cfg, mix, cfg.seed+int64(i)*7919)
+		if err != nil {
+			return rep, fmt.Errorf("mix %q: %w", mix, err)
+		}
+		rep.Mixes = append(rep.Mixes, mr)
+	}
+	return rep, nil
+}
+
+// mixRatio maps a mix name to its commit fraction.
+func mixRatio(cfg config, mix string) (float64, error) {
+	switch mix {
+	case "checkout":
+		return 0, nil
+	case "commit":
+		return 1, nil
+	case "mixed":
+		return cfg.commitRatio, nil
+	default:
+		return 0, fmt.Errorf("unknown mix (want checkout|commit|mixed)")
+	}
+}
+
+// loadState is the per-mix shared state the workers drive.
+type loadState struct {
+	c          *client.Client
+	versions   atomic.Int64 // committed version count (checkout id space)
+	checkoutHG metrics.Histogram
+	commitHG   metrics.Histogram
+	checkouts  atomic.Int64
+	commits    atomic.Int64
+	errors     atomic.Int64
+	throttled  atomic.Int64 // 429 shed responses (reported separately)
+	dropped    atomic.Int64 // open-loop arrivals with no capacity left
+}
+
+// runMix drives one workload mix for cfg.duration and summarizes it.
+func runMix(c *client.Client, cfg config, mix string, seed int64) (MixReport, error) {
+	ratio, err := mixRatio(cfg, mix)
+	if err != nil {
+		return MixReport{}, err
+	}
+	ctx := context.Background()
+	versions, err := c.Healthz(ctx)
+	if err != nil {
+		return MixReport{}, err
+	}
+	if versions == 0 {
+		return MixReport{}, fmt.Errorf("target has no versions (use -preload)")
+	}
+	st := &loadState{c: c}
+	st.versions.Store(int64(versions))
+
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	var wg sync.WaitGroup
+	var arrivals chan struct{}
+	if cfg.rate > 0 {
+		// Open loop: a pacer emits arrivals at the configured rate; the
+		// bounded backlog decouples it from worker completions.
+		arrivals = make(chan struct{}, 4*cfg.concurrency)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(arrivals)
+			tick := time.NewTicker(time.Duration(float64(time.Second) / cfg.rate))
+			defer tick.Stop()
+			for now := range tick.C {
+				if now.After(deadline) {
+					return
+				}
+				select {
+				case arrivals <- struct{}{}:
+				default:
+					st.dropped.Add(1)
+				}
+			}
+		}()
+	}
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			pick := newPicker(cfg, rng, versions)
+			for {
+				if arrivals != nil {
+					if _, ok := <-arrivals; !ok {
+						return
+					}
+				} else if !time.Now().Before(deadline) {
+					return
+				}
+				st.step(ctx, rng, pick, ratio, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	mr := MixReport{
+		Mix:             mix,
+		Dist:            cfg.dist,
+		CommitRatio:     ratio,
+		OpenLoopRPS:     cfg.rate,
+		DurationSeconds: elapsed.Seconds(),
+		Checkouts:       st.checkouts.Load(),
+		Commits:         st.commits.Load(),
+		Errors:          st.errors.Load(),
+		Throttled:       st.throttled.Load(),
+		Dropped:         st.dropped.Load(),
+		PerOp:           map[string]OpReport{},
+	}
+	mr.Ops = mr.Checkouts + mr.Commits
+	if elapsed > 0 {
+		mr.ThroughputOpsPerSec = float64(mr.Ops) / elapsed.Seconds()
+	}
+	var merged metrics.Histogram
+	if mr.Checkouts > 0 {
+		mr.PerOp["checkout"] = OpReport{Ops: mr.Checkouts, Latency: st.checkoutHG.Summary()}
+	}
+	if mr.Commits > 0 {
+		mr.PerOp["commit"] = OpReport{Ops: mr.Commits, Latency: st.commitHG.Summary()}
+	}
+	merged.Merge(&st.checkoutHG)
+	merged.Merge(&st.commitHG)
+	mr.Latency = merged.Summary()
+	return mr, nil
+}
+
+// step executes one operation and records its latency.
+func (st *loadState) step(ctx context.Context, rng *rand.Rand, pick *picker, ratio float64, w int) {
+	if rng.Float64() < ratio {
+		parent := versioning.NodeID(pick.id(st.versions.Load()))
+		t0 := time.Now()
+		cr, err := st.c.Commit(ctx, parent, synthLines(rng, int(st.commits.Load())*1000+w))
+		st.commitHG.Observe(time.Since(t0))
+		st.commits.Add(1)
+		if err != nil {
+			st.recordErr(err)
+			return
+		}
+		st.versions.Store(int64(cr.Versions))
+		return
+	}
+	id := versioning.NodeID(pick.id(st.versions.Load()))
+	t0 := time.Now()
+	_, err := st.c.Checkout(ctx, id)
+	st.checkoutHG.Observe(time.Since(t0))
+	st.checkouts.Add(1)
+	if err != nil {
+		st.recordErr(err)
+	}
+}
+
+func (st *loadState) recordErr(err error) {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+		st.throttled.Add(1)
+		return
+	}
+	st.errors.Add(1)
+}
+
+// picker draws version ids under the configured popularity model.
+type picker struct {
+	zipf *rand.Zipf
+	rng  *rand.Rand
+	base int // version count when the zipf ranking was frozen
+}
+
+func newPicker(cfg config, rng *rand.Rand, versions int) *picker {
+	p := &picker{rng: rng, base: versions}
+	if cfg.dist == "zipf" && versions > 1 {
+		// Rank 0 = newest version at mix start; the skew models a hot
+		// head of recent versions, the worst case for naive caching.
+		p.zipf = rand.NewZipf(rng, cfg.zipfS, 1, uint64(versions-1))
+	}
+	return p
+}
+
+// id draws one version id < versions (the live count, so uniform runs
+// cover versions committed mid-mix).
+func (p *picker) id(versions int64) int64 {
+	if versions <= 0 {
+		return 0
+	}
+	if p.zipf != nil {
+		rank := int64(p.zipf.Uint64())
+		id := int64(p.base) - 1 - rank
+		if id < 0 {
+			id = 0
+		}
+		return id
+	}
+	return p.rng.Int63n(versions)
+}
+
+// synthLines generates a deterministic ~20-line version body; n salts
+// the content so successive commits produce real (non-empty) diffs.
+func synthLines(rng *rand.Rand, n int) []string {
+	lines := make([]string, 18+rng.Intn(6))
+	for i := range lines {
+		lines[i] = fmt.Sprintf("line %02d of synthetic version %d token %x", i, n, rng.Int63())
+	}
+	return lines
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/serve"
+	"repro/versioning"
+)
+
+// testTarget serves a real dsvd handler stack for the generator to hit.
+func testTarget(t *testing.T) string {
+	t.Helper()
+	repo := versioning.NewRepository("loadtest", versioning.RepositoryOptions{
+		ReplanEvery:   16,
+		EngineOptions: versioning.EngineOptions{SolverTimeout: 10 * time.Second, DisableILP: true},
+	})
+	ts := httptest.NewServer(serve.New(repo, serve.Options{}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRunLoadEndToEnd(t *testing.T) {
+	cfg := config{
+		addr:        testTarget(t),
+		mixes:       []string{"checkout", "mixed", "commit"},
+		dist:        "zipf",
+		zipfS:       1.2,
+		duration:    250 * time.Millisecond,
+		concurrency: 4,
+		commitRatio: 0.2,
+		preload:     12,
+		seed:        3,
+		timeout:     5 * time.Second,
+		coalesce:    -1,
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mixes) != 3 {
+		t.Fatalf("got %d mix reports, want 3", len(rep.Mixes))
+	}
+	for _, mr := range rep.Mixes {
+		if mr.Ops == 0 {
+			t.Fatalf("mix %q executed no operations", mr.Mix)
+		}
+		if mr.Errors != 0 {
+			t.Fatalf("mix %q: %d errors against a healthy server", mr.Mix, mr.Errors)
+		}
+		if mr.Latency.Count == 0 || mr.Latency.P50US <= 0 ||
+			mr.Latency.P99US < mr.Latency.P50US || mr.Latency.MaxUS < mr.Latency.P99US {
+			t.Fatalf("mix %q latency summary inconsistent: %+v", mr.Mix, mr.Latency)
+		}
+		if mr.ThroughputOpsPerSec <= 0 {
+			t.Fatalf("mix %q throughput = %f", mr.Mix, mr.ThroughputOpsPerSec)
+		}
+	}
+	if co := rep.Mixes[0]; co.Commits != 0 || co.Checkouts != co.Ops {
+		t.Fatalf("checkout mix ran commits: %+v", co)
+	}
+	if cm := rep.Mixes[2]; cm.Checkouts != 0 || cm.Commits != cm.Ops {
+		t.Fatalf("commit mix ran checkouts: %+v", cm)
+	}
+	if mx := rep.Mixes[1]; mx.Commits == 0 || mx.Checkouts == 0 {
+		t.Fatalf("mixed mix not mixed: %+v", mx)
+	}
+	// The report must round-trip as JSON (it is the BENCH_load.json contract).
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Mixes) != 3 || back.Mixes[1].PerOp["commit"].Ops == 0 {
+		t.Fatalf("report did not survive a JSON round trip: %+v", back)
+	}
+}
+
+func TestRunLoadOpenLoop(t *testing.T) {
+	cfg := config{
+		addr:        testTarget(t),
+		mixes:       []string{"checkout"},
+		dist:        "uniform",
+		duration:    250 * time.Millisecond,
+		concurrency: 2,
+		rate:        200,
+		preload:     6,
+		seed:        5,
+		timeout:     5 * time.Second,
+		coalesce:    -1,
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := rep.Mixes[0]
+	if mr.Ops == 0 || mr.Errors != 0 {
+		t.Fatalf("open-loop mix = %+v", mr)
+	}
+	// 200/s for 250ms ≈ 50 arrivals; executed + dropped accounts for all.
+	if mr.Ops+mr.Dropped > 60 {
+		t.Fatalf("open loop overshot the arrival budget: ops=%d dropped=%d", mr.Ops, mr.Dropped)
+	}
+}
+
+func TestPickerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, dist := range []string{"zipf", "uniform"} {
+		p := newPicker(config{dist: dist, zipfS: 1.3}, rng, 40)
+		seen := map[int64]bool{}
+		for i := 0; i < 5000; i++ {
+			id := p.id(40)
+			if id < 0 || id >= 40 {
+				t.Fatalf("%s: id %d out of [0,40)", dist, id)
+			}
+			seen[id] = true
+		}
+		if len(seen) < 5 {
+			t.Fatalf("%s: only %d distinct ids in 5000 draws", dist, len(seen))
+		}
+	}
+	// Zipf skews toward recent (high) ids: the newest version must be
+	// the most popular draw.
+	p := newPicker(config{dist: "zipf", zipfS: 1.3}, rng, 40)
+	counts := map[int64]int{}
+	for i := 0; i < 5000; i++ {
+		counts[p.id(40)]++
+	}
+	for id, n := range counts {
+		if n > counts[39] {
+			t.Fatalf("zipf: id %d drawn %d times > newest id 39 (%d)", id, n, counts[39])
+		}
+	}
+}
+
+func TestMixRatioRejectsUnknown(t *testing.T) {
+	if _, err := mixRatio(config{}, "shenanigans"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := config{dist: "zipf", zipfS: 1.2, concurrency: 4}
+	if err := base.validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, cfg := range map[string]config{
+		"zipf s=1":     {dist: "zipf", zipfS: 1.0, concurrency: 4},
+		"zipf s=0":     {dist: "zipf", concurrency: 4},
+		"unknown dist": {dist: "pareto", concurrency: 4},
+		"zero workers": {dist: "uniform"},
+		"absurd rate":  {dist: "uniform", concurrency: 4, rate: 2e9},
+		"negative":     {dist: "uniform", concurrency: 4, rate: -1},
+	} {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("%s: accepted, want error (would silently measure the wrong workload)", name)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package benchparse reads `go test -bench` output and compares two
+// runs for the CI bench-regression gate. benchstat renders the nice
+// human table in CI; this package owns the pass/fail decision so the
+// gate does not depend on parsing another tool's formatting.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse collects ns/op samples per benchmark from one `go test -bench`
+// output stream. Repeated runs of the same benchmark (-count=N)
+// accumulate; the GOMAXPROCS suffix (-8) is stripped so runs from
+// hosts with different core counts still match.
+func Parse(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8  <iters>  <value> ns/op  [...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var ns float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchparse: bad ns/op value %q in %q", fields[i], sc.Text())
+				}
+				ns, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = append(out[name], ns)
+	}
+	return out, sc.Err()
+}
+
+// Comparison is one benchmark's base-vs-head result.
+type Comparison struct {
+	Name   string
+	BaseNs float64 // median across repetitions
+	HeadNs float64
+	Ratio  float64 // HeadNs / BaseNs; > 1 is a slowdown
+}
+
+// Compare matches benchmarks present in both runs (medians across
+// -count repetitions) and reports the per-benchmark ratios plus their
+// geometric mean. Benchmarks present on only one side are skipped —
+// the gate judges shared coverage, not added or removed benches.
+func Compare(base, head map[string][]float64) (comps []Comparison, geomean float64, err error) {
+	var names []string
+	for name := range base {
+		if _, ok := head[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, 0, fmt.Errorf("benchparse: no common benchmarks between runs")
+	}
+	sort.Strings(names)
+	logSum := 0.0
+	for _, name := range names {
+		b, h := median(base[name]), median(head[name])
+		if b <= 0 || h <= 0 {
+			return nil, 0, fmt.Errorf("benchparse: non-positive ns/op for %s", name)
+		}
+		ratio := h / b
+		comps = append(comps, Comparison{Name: name, BaseNs: b, HeadNs: h, Ratio: ratio})
+		logSum += math.Log(ratio)
+	}
+	return comps, math.Exp(logSum / float64(len(names))), nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,75 @@
+package benchparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const baseOut = `
+goos: linux
+goarch: amd64
+BenchmarkCheckout-8        	    1000	   1000000 ns/op	  512 B/op	 10 allocs/op
+BenchmarkCheckout-8        	    1200	   1200000 ns/op	  512 B/op	 10 allocs/op
+BenchmarkCheckout-8        	    1100	   1100000 ns/op	  512 B/op	 10 allocs/op
+BenchmarkPortfolio/MSR-8   	      50	  20000000 ns/op
+BenchmarkOnlyInBase-8      	     100	    500000 ns/op
+PASS
+`
+
+const headOut = `
+BenchmarkCheckout-16       	    1000	   1650000 ns/op	  512 B/op	 10 allocs/op
+BenchmarkPortfolio/MSR-16  	      60	  18000000 ns/op
+BenchmarkOnlyInHead-16     	     100	    400000 ns/op
+ok  	repro	10s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(baseOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkCheckout"]) != 3 {
+		t.Fatalf("BenchmarkCheckout samples = %v", got["BenchmarkCheckout"])
+	}
+	if len(got["BenchmarkPortfolio/MSR"]) != 1 || got["BenchmarkPortfolio/MSR"][0] != 20000000 {
+		t.Fatalf("sub-benchmark parse = %v", got["BenchmarkPortfolio/MSR"])
+	}
+	if _, ok := got["BenchmarkCheckout-8"]; ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+}
+
+func TestCompareGeomean(t *testing.T) {
+	base, _ := Parse(strings.NewReader(baseOut))
+	head, _ := Parse(strings.NewReader(headOut))
+	comps, geomean, err := Compare(base, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("compared %d benchmarks, want the 2 common ones", len(comps))
+	}
+	// Checkout: median 1.1ms -> 1.65ms = 1.5x; Portfolio: 20ms -> 18ms = 0.9x.
+	want := math.Sqrt(1.5 * 0.9)
+	if math.Abs(geomean-want) > 1e-9 {
+		t.Fatalf("geomean = %f, want %f", geomean, want)
+	}
+	for _, c := range comps {
+		if c.Name == "BenchmarkCheckout" && math.Abs(c.Ratio-1.5) > 1e-9 {
+			t.Fatalf("checkout ratio = %f", c.Ratio)
+		}
+	}
+}
+
+func TestCompareNoOverlap(t *testing.T) {
+	if _, _, err := Compare(map[string][]float64{"A": {1}}, map[string][]float64{"B": {1}}); err == nil {
+		t.Fatal("disjoint runs compared without error")
+	}
+}
+
+func TestParseBadValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8  10  oops ns/op\n")); err == nil {
+		t.Fatal("bad ns/op accepted")
+	}
+}

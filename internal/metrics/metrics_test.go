@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every representable value must land in a bucket whose upper bound
+	// is >= the value and within ~3.2% relative error above it.
+	vals := []int64{0, 1, 5, 31, 32, 33, 100, 1023, 1024, 4096, 1_000_000, 123_456_789, 1 << 40}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("bucketUpper(%d)=%d < value %d", idx, up, v)
+		}
+		if v >= subCount && float64(up-v) > float64(v)/subCount+1 {
+			t.Fatalf("value %d: upper %d overshoots by more than one sub-bucket", v, up)
+		}
+		// Monotonic: the next bucket starts right above this one's upper.
+		if idx+1 < numBucket && bucketUpper(idx+1) <= up {
+			t.Fatalf("bucket %d upper %d not monotonic", idx, up)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform latencies from 1µs to ~100ms.
+		d := time.Duration(float64(time.Microsecond) * (1 + rng.ExpFloat64()*5000))
+		samples = append(samples, float64(d))
+		h.Observe(d)
+	}
+	sort.Float64s(samples)
+	s := h.Snapshot()
+	if s.Count != 20000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := float64(s.Quantile(q))
+		if got < exact*0.97 || got > exact*1.07 {
+			t.Errorf("q%.2f: got %.0fns, exact %.0fns (off by %.1f%%)", q, got, exact, 100*(got/exact-1))
+		}
+	}
+	if got, exact := float64(s.Max), samples[len(samples)-1]; got != exact {
+		t.Errorf("max = %.0f, want exact %.0f", got, exact)
+	}
+	mean := float64(s.Mean())
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	if exact := sum / float64(len(samples)); mean < exact*0.999 || mean > exact*1.001 {
+		t.Errorf("mean = %.0f, want ~%.0f", mean, exact)
+	}
+}
+
+func TestHistogramEmptyAndSummary(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not all-zero: %+v", s)
+	}
+	h.Observe(3 * time.Millisecond)
+	sum := h.Summary()
+	if sum.Count != 1 || sum.MaxUS != 3000 || sum.P50US < 2900 || sum.P50US > 3000 {
+		t.Fatalf("single-sample summary = %+v", sum)
+	}
+	h.Observe(-time.Second) // clamps to zero, must not panic
+	if h.Count() != 2 {
+		t.Fatalf("count after clamp = %d", h.Count())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if max := h.Snapshot().Max; max != time.Duration(7*1000+per-1) {
+		t.Fatalf("max = %d", max)
+	}
+}

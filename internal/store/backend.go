@@ -28,10 +28,10 @@ type BackendStats struct {
 // backendtest pins the shared contract.
 type Backend interface {
 	Put(k Key, data []byte) error
-	Get(k Key) ([]byte, error)         // ErrNotFound when absent
-	Delete(k Key) error                // deleting an absent key is a no-op
-	Len() int                          // number of stored objects
-	Keys(fn func(k Key) error) error   // iterate keys; fn's error aborts
+	Get(k Key) ([]byte, error)       // ErrNotFound when absent
+	Delete(k Key) error              // deleting an absent key is a no-op
+	Len() int                        // number of stored objects
+	Keys(fn func(k Key) error) error // iterate keys; fn's error aborts
 	Stats() BackendStats
 }
 

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// limiter is the bounded admission controller: MaxInFlight requests
+// execute concurrently, up to MaxQueue more wait at most QueueWait for
+// a slot, and everything beyond that is shed immediately. Shedding at
+// the door keeps tail latency bounded under overload — the alternative
+// (unbounded goroutines all contending for the store) makes every
+// request slow instead of making excess requests fail fast.
+type limiter struct {
+	sem      chan struct{} // execution slots; nil disables limiting
+	queue    chan struct{} // waiting slots
+	wait     time.Duration
+	capacity int
+
+	accepted      atomic.Int64
+	queued        atomic.Int64 // accepted requests that had to wait
+	rejectedFull  atomic.Int64 // shed because the queue was full
+	rejectedSlow  atomic.Int64 // shed after waiting QueueWait
+	rejectedOther atomic.Int64 // caller gave up (context canceled) while queued
+
+	retryAfterHeader string // precomputed whole-seconds Retry-After value
+}
+
+func newLimiter(opt Options) *limiter {
+	l := &limiter{wait: opt.QueueWait}
+	if l.wait <= 0 {
+		l.wait = 100 * time.Millisecond
+	}
+	retryAfter := opt.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	l.retryAfterHeader = strconv.FormatInt(secs, 10)
+	if opt.MaxInFlight < 0 {
+		return l // limiter disabled
+	}
+	l.capacity = opt.MaxInFlight
+	if l.capacity == 0 {
+		l.capacity = 4 * runtime.GOMAXPROCS(0)
+	}
+	maxQueue := opt.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = 2 * l.capacity
+	}
+	l.sem = make(chan struct{}, l.capacity)
+	l.queue = make(chan struct{}, maxQueue)
+	return l
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when
+// the server is at capacity. It reports false when the request must be
+// shed (queue full, queue wait exceeded, or caller canceled).
+func (l *limiter) acquire(ctx context.Context) bool {
+	if l.sem == nil {
+		l.accepted.Add(1)
+		return true
+	}
+	select {
+	case l.sem <- struct{}{}:
+		l.accepted.Add(1)
+		return true
+	default:
+	}
+	// At capacity: take a queue slot or shed immediately.
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		l.rejectedFull.Add(1)
+		return false
+	}
+	defer func() { <-l.queue }()
+	timer := time.NewTimer(l.wait)
+	defer timer.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		l.accepted.Add(1)
+		l.queued.Add(1)
+		return true
+	case <-timer.C:
+		l.rejectedSlow.Add(1)
+		return false
+	case <-ctx.Done():
+		l.rejectedOther.Add(1)
+		return false
+	}
+}
+
+func (l *limiter) release() {
+	if l.sem != nil {
+		<-l.sem
+	}
+}
+
+// AdmissionStats snapshots the limiter for /statsz.
+type AdmissionStats struct {
+	Capacity int   `json:"capacity"` // 0 = limiter disabled
+	InFlight int   `json:"in_flight"`
+	QueueLen int   `json:"queue_len"`
+	QueueCap int   `json:"queue_cap"`
+	Accepted int64 `json:"accepted"`
+	Queued   int64 `json:"queued"`
+	Rejected int64 `json:"rejected"`
+
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedWait      int64 `json:"rejected_wait"`
+	RejectedCanceled  int64 `json:"rejected_canceled"`
+}
+
+func (l *limiter) stats() AdmissionStats {
+	s := AdmissionStats{
+		Capacity:          l.capacity,
+		Accepted:          l.accepted.Load(),
+		Queued:            l.queued.Load(),
+		RejectedQueueFull: l.rejectedFull.Load(),
+		RejectedWait:      l.rejectedSlow.Load(),
+		RejectedCanceled:  l.rejectedOther.Load(),
+	}
+	s.Rejected = s.RejectedQueueFull + s.RejectedWait + s.RejectedCanceled
+	if l.sem != nil {
+		s.InFlight = len(l.sem)
+		s.QueueLen = len(l.queue)
+		s.QueueCap = cap(l.queue)
+	}
+	return s
+}

@@ -1,0 +1,351 @@
+// Package serve is dsvd's HTTP serving layer: it wires a
+// versioning.Repository to HTTP and hardens the hot path for real
+// traffic. Endpoints:
+//
+//	POST /commit         {"parent": -1, "lines": [...]} -> commitResponse
+//	GET  /checkout/{id}  -> checkoutResponse
+//	POST /checkout       {"ids": [0, 3, 7]} -> batch checkoutResponse list
+//	POST /replan         force a portfolio re-plan now
+//	GET  /plan           -> versioning.PlanSummary
+//	GET  /stats          -> versioning.RepositoryStats
+//	GET  /statsz         -> Statsz: per-endpoint latency/throughput counters
+//	GET  /healthz        liveness probe
+//
+// Hardening beyond the bare handlers:
+//
+//   - Admission control: at most Options.MaxInFlight requests execute at
+//     once; a bounded queue absorbs bursts and overflow is rejected with
+//     429 + Retry-After instead of letting goroutines and latency pile
+//     up unbounded. Probes (/healthz, /statsz) bypass the limiter so
+//     operators can observe an overloaded server.
+//   - Singleflight on GET /checkout/{id}: concurrent requests for the
+//     same version share one reconstruction (popular-version stampedes
+//     cost one store hit).
+//   - Per-endpoint metrics: request/error counts and log-linear latency
+//     histograms (internal/metrics) surfaced by /statsz.
+//
+// The package is importable so cmd/dsvd, the load generator's tests,
+// and examples can all run the exact production handler stack.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/versioning"
+)
+
+// Options tunes the serving hardening. The zero value gives sensible
+// production defaults.
+type Options struct {
+	// MaxInFlight bounds concurrently executing requests (admission
+	// control). 0 picks 4×GOMAXPROCS; negative disables the limiter.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot before the
+	// server sheds load with 429 (0 = 2×MaxInFlight).
+	MaxQueue int
+	// QueueWait caps how long a queued request waits for a slot before
+	// being rejected (0 = 100ms).
+	QueueWait time.Duration
+	// RetryAfter is the hint sent with 429 responses (0 = 1s; rounded up
+	// to whole seconds for the Retry-After header).
+	RetryAfter time.Duration
+	// CheckoutTimeout bounds a shared checkout flight (0 = 30s). The
+	// flight deliberately outlives its leader's request context, so this
+	// deadline is what stops a hung backend from pinning the flight, its
+	// admission slot, and every piggybacked follower forever.
+	CheckoutTimeout time.Duration
+}
+
+// Server is the HTTP serving layer over one Repository. Create with
+// New; it implements http.Handler.
+type Server struct {
+	repo            *versioning.Repository
+	mux             *http.ServeMux
+	adm             *limiter
+	start           time.Time
+	checkoutTimeout time.Duration
+
+	// flights deduplicates concurrent GET /checkout/{id} for the same id.
+	flightMu  sync.Mutex
+	flights   map[versioning.NodeID]*flight
+	coalesced atomic.Int64 // follower requests served by a shared flight
+
+	epMu      sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+// New returns a Server wired to repo with the given hardening options.
+func New(repo *versioning.Repository, opt Options) *Server {
+	if opt.CheckoutTimeout <= 0 {
+		opt.CheckoutTimeout = 30 * time.Second
+	}
+	s := &Server{
+		repo:            repo,
+		mux:             http.NewServeMux(),
+		adm:             newLimiter(opt),
+		start:           time.Now(),
+		checkoutTimeout: opt.CheckoutTimeout,
+		flights:         make(map[versioning.NodeID]*flight),
+		endpoints:       make(map[string]*endpointMetrics),
+	}
+	s.handle("commit", "POST /commit", s.handleCommit, true)
+	s.handle("checkout", "GET /checkout/{id}", s.handleCheckout, true)
+	s.handle("checkout_batch", "POST /checkout", s.handleCheckoutBatch, true)
+	s.handle("replan", "POST /replan", s.handleReplan, true)
+	s.handle("plan", "GET /plan", s.handlePlan, true)
+	s.handle("stats", "GET /stats", s.handleStats, true)
+	// Probes bypass admission control: an overloaded server must still
+	// answer its orchestrator and expose its own counters.
+	s.handle("statsz", "GET /statsz", s.handleStatsz, false)
+	s.handle("healthz", "GET /healthz", s.handleHealthz, false)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handle registers pattern with per-endpoint instrumentation and, when
+// limited, admission control.
+func (s *Server) handle(name, pattern string, h http.HandlerFunc, limited bool) {
+	ep := &endpointMetrics{}
+	s.epMu.Lock()
+	s.endpoints[name] = ep
+	s.epMu.Unlock()
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if limited && !s.adm.acquire(r.Context()) {
+			ep.requests.Add(1)
+			ep.rejected.Add(1)
+			w.Header().Set("Retry-After", s.adm.retryAfterHeader)
+			writeJSON(w, http.StatusTooManyRequests,
+				errorResponse{Error: "server overloaded, retry later"})
+			return
+		}
+		if limited {
+			defer s.adm.release()
+		}
+		ep.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// Deferred so a panicking handler (e.g. http.ErrAbortHandler on a
+		// mid-write disconnect) cannot leak the in-flight gauge or skip
+		// the counters — net/http recovers the panic above us.
+		defer func() {
+			ep.latency.Observe(time.Since(start))
+			ep.inFlight.Add(-1)
+			ep.requests.Add(1)
+			if sw.status >= 400 {
+				ep.errors.Add(1)
+			}
+		}()
+		h(sw, r)
+	})
+}
+
+// statusWriter captures the response status for the error counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// handleHealthz is the liveness/readiness probe: cheap (one RLock plus
+// atomic counters), so orchestrators can poll it even mid-re-plan.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"versions": s.repo.Versions(),
+	})
+}
+
+type commitRequest struct {
+	// Parent is the version the commit derives from; -1 or omitted
+	// commits a root.
+	Parent *versioning.NodeID `json:"parent"`
+	Lines  []string           `json:"lines"`
+}
+
+type commitResponse struct {
+	ID       versioning.NodeID `json:"id"`
+	Versions int               `json:"versions"`
+}
+
+type checkoutResponse struct {
+	ID    versioning.NodeID `json:"id"`
+	Lines []string          `json:"lines"`
+	Error string            `json:"error,omitempty"`
+	// Status carries the per-item HTTP-style status inside a 200 batch
+	// response (omitted on success), so clients fan out typed errors
+	// without re-deriving them from the message text.
+	Status int `json:"status,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes caps request bodies so a hostile payload cannot exhaust
+// memory before JSON decoding even starts.
+const maxBodyBytes = 64 << 20
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req commitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad commit request: %v", err)})
+		return
+	}
+	parent := versioning.NoParent
+	if req.Parent != nil {
+		parent = *req.Parent
+	}
+	id, err := s.repo.Commit(r.Context(), parent, req.Lines)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, versioning.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		} else if strings.Contains(err.Error(), "does not exist") {
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, commitResponse{ID: id, Versions: s.repo.Versions()})
+}
+
+// flight is one in-progress shared checkout.
+type flight struct {
+	done  chan struct{}
+	lines []string
+	err   error
+}
+
+// checkoutShared reconstructs version id, deduplicating concurrent
+// requests for the same id into one repo hit. The store performs its
+// own singleflight below its LRU; this handler-level flight addition-
+// ally spares the repo/cache path for piggybacked requests and is
+// where the serving layer counts coalescing for /statsz. The leader
+// runs detached from its request's cancellation (followers must not
+// inherit the leader's deadline, and a canceled leader must not poison
+// the shared result) but under the server's checkout deadline, so a
+// hung backend fails the flight instead of pinning it forever.
+func (s *Server) checkoutShared(ctx context.Context, id versioning.NodeID) ([]string, error) {
+	s.flightMu.Lock()
+	if f, ok := s.flights[id]; ok {
+		s.flightMu.Unlock()
+		s.coalesced.Add(1)
+		select {
+		case <-f.done:
+			return f.lines, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[id] = f
+	s.flightMu.Unlock()
+	fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.checkoutTimeout)
+	f.lines, f.err = s.repo.Checkout(fctx, id)
+	cancel()
+	s.flightMu.Lock()
+	delete(s.flights, id)
+	s.flightMu.Unlock()
+	close(f.done)
+	return f.lines, f.err
+}
+
+func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad version id: %v", err)})
+		return
+	}
+	lines, err := s.checkoutShared(r.Context(), versioning.NodeID(id64))
+	if err != nil {
+		status := checkoutErrStatus(err)
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			status = http.StatusRequestTimeout
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, checkoutResponse{ID: versioning.NodeID(id64), Lines: lines})
+}
+
+type checkoutBatchRequest struct {
+	IDs []versioning.NodeID `json:"ids"`
+}
+
+func (s *Server) handleCheckoutBatch(w http.ResponseWriter, r *http.Request) {
+	var req checkoutBatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad batch request: %v", err)})
+		return
+	}
+	results := s.repo.CheckoutBatch(r.Context(), req.IDs)
+	out := make([]checkoutResponse, len(results))
+	for i, res := range results {
+		out[i] = checkoutResponse{ID: req.IDs[i], Lines: res.Lines}
+		if res.Err != nil {
+			out[i].Error = res.Err.Error()
+			out[i].Status = checkoutErrStatus(res.Err)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// checkoutErrStatus maps a reconstruction error to its HTTP status —
+// the single place the store's error text is interpreted, shared by
+// the direct handler and the per-item batch statuses.
+func checkoutErrStatus(err error) int {
+	if strings.Contains(err.Error(), "unknown version") {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
+	if err := s.repo.Replan(r.Context()); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, versioning.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.repo.Summary())
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.repo.Summary())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.repo.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// endpointMetrics is one endpoint's traffic counters.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	rejected atomic.Int64
+	inFlight atomic.Int64
+	latency  metrics.Histogram
+}

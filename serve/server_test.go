@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -20,7 +20,7 @@ func testServer(t *testing.T, opt versioning.RepositoryOptions) *httptest.Server
 	if opt.EngineOptions == (versioning.EngineOptions{}) && opt.Engine == nil {
 		opt.EngineOptions = versioning.EngineOptions{SolverTimeout: 10 * time.Second, DisableILP: true}
 	}
-	ts := httptest.NewServer(newServer(versioning.NewRepository("test", opt)))
+	ts := httptest.NewServer(New(versioning.NewRepository("test", opt), Options{}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -218,7 +218,7 @@ func TestServerPersistenceRestartRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(repo))
+	ts := httptest.NewServer(New(repo, Options{}))
 	src := repogen.GenerateRepo("durable-http", 16, 31)
 	for v := 0; v < src.Graph.N(); v++ {
 		if code := postJSON(t, ts.URL+"/commit",
@@ -243,7 +243,7 @@ func TestServerPersistenceRestartRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer repo2.Close()
-	ts2 := httptest.NewServer(newServer(repo2))
+	ts2 := httptest.NewServer(New(repo2, Options{}))
 	defer ts2.Close()
 	var hz struct {
 		Status   string `json:"status"`

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/versioning"
+)
+
+// EndpointStats is one endpoint's /statsz entry: throughput counters
+// plus a latency summary from the log-linear histogram.
+type EndpointStats struct {
+	Requests int64 `json:"requests"`
+	// Errors counts handler responses with status >= 400. Admission-shed
+	// 429s never reach the handler and are counted in Rejected only, so
+	// error rate and shed rate stay separable signals.
+	Errors   int64 `json:"errors"`
+	Rejected int64 `json:"rejected,omitempty"`
+	InFlight int64 `json:"in_flight"`
+	// Coalesced counts requests served by piggybacking on another
+	// in-flight identical request (checkout singleflight).
+	Coalesced int64                  `json:"coalesced,omitempty"`
+	Latency   metrics.LatencySummary `json:"latency"`
+}
+
+// Statsz is the /statsz response: the server-side observability surface
+// the client, dsvload, and the CI load-smoke job read.
+type Statsz struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Goroutines    int                        `json:"goroutines"`
+	GoVersion     string                     `json:"go_version"`
+	Admission     AdmissionStats             `json:"admission"`
+	Endpoints     map[string]EndpointStats   `json:"endpoints"`
+	Repo          versioning.RepositoryStats `json:"repo"`
+}
+
+// StatszSnapshot assembles the full serving snapshot (also available to
+// in-process users, e.g. tests and examples, without an HTTP round trip).
+func (s *Server) StatszSnapshot() Statsz {
+	out := Statsz{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		GoVersion:     runtime.Version(),
+		Admission:     s.adm.stats(),
+		Endpoints:     make(map[string]EndpointStats),
+		Repo:          s.repo.Stats(),
+	}
+	s.epMu.Lock()
+	names := make([]string, 0, len(s.endpoints))
+	for name := range s.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ep := s.endpoints[name]
+		es := EndpointStats{
+			Requests: ep.requests.Load(),
+			Errors:   ep.errors.Load(),
+			Rejected: ep.rejected.Load(),
+			InFlight: ep.inFlight.Load(),
+			Latency:  ep.latency.Summary(),
+		}
+		if name == "checkout" {
+			es.Coalesced = s.coalesced.Load()
+		}
+		out.Endpoints[name] = es
+	}
+	s.epMu.Unlock()
+	return out
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatszSnapshot())
+}

@@ -91,9 +91,10 @@ type RepositoryOptions struct {
 // the longest re-plan. Returned and committed line slices are shared
 // with the cache: callers must not modify them.
 type Repository struct {
-	opt RepositoryOptions
-	eng *Engine
-	st  *store.Store
+	opt   RepositoryOptions
+	eng   *Engine
+	st    *store.Store
+	start time.Time // creation/open time (Stats reports uptime)
 
 	// commitMu serializes commits, re-plans, and close. The journal and
 	// the store's Add*/Install/Sweep methods are only touched under it.
@@ -138,6 +139,7 @@ func NewRepository(name string, opt RepositoryOptions) *Repository {
 	return &Repository{
 		opt:        opt,
 		eng:        eng,
+		start:      time.Now(),
 		st:         store.New(store.Options{Backend: backend, CacheEntries: opt.CacheEntries}),
 		g:          NewGraph(name),
 		plan:       plan.New(NewGraph(name)),
@@ -514,9 +516,10 @@ func (r *Repository) Summary() PlanSummary {
 
 // RepositoryStats snapshots a repository's serving state.
 type RepositoryStats struct {
-	Name     string `json:"name"`
-	Versions int    `json:"versions"`
-	Deltas   int    `json:"deltas"` // graph edges (candidate deltas)
+	Name          string  `json:"name"`
+	Versions      int     `json:"versions"`
+	Deltas        int     `json:"deltas"` // graph edges (candidate deltas)
+	UptimeSeconds float64 `json:"uptime_seconds"`
 
 	Problem      string `json:"problem"`
 	Storage      Cost   `json:"storage"`
@@ -549,6 +552,7 @@ func (r *Repository) Stats() RepositoryStats {
 		Name:           r.g.Name,
 		Versions:       r.g.N(),
 		Deltas:         r.g.M(),
+		UptimeSeconds:  time.Since(r.start).Seconds(),
 		Problem:        r.opt.Problem.String(),
 		Storage:        r.planCost.Storage,
 		SumRetrieval:   r.planCost.SumRetrieval,
