@@ -30,12 +30,14 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzJSONRoundTrip -fuzztime=30s ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=30s ./versioning
+	$(GO) test -run='^$$' -fuzz=FuzzTenantName -fuzztime=30s ./tenant
 
-# Coverage for the storage + versioning core with the CI floor applied.
+# Coverage for the storage + versioning + tenant core with the CI floor
+# applied.
 cover:
-	$(GO) test -coverprofile=cover.out -coverpkg=./internal/store/...,./versioning/... ./internal/store/... ./versioning/...
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/store/...,./versioning/...,./tenant/... ./internal/store/... ./versioning/... ./tenant/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
-	echo "combined store+versioning coverage: $$total%"; \
+	echo "combined store+versioning+tenant coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { exit (t+0 >= 70.0 ? 0 : 1) }' || \
 		{ echo "coverage $$total% is below the 70% floor"; exit 1; }
 
@@ -50,8 +52,13 @@ serve-durable:
 
 # Load smoke: boot a durable dsvd, drive a 10s mixed workload through
 # dsvload, fail on any operation error, and leave BENCH_load.json
-# behind. CI runs this as the load-smoke job.
+# behind; then boot a multi-tenant dsvd with -max-open far below the
+# tenant count and drive a zipf-skewed 100-tenant mixed workload, so
+# LRU eviction + transparent reopen are exercised with zero failures
+# (BENCH_load_multi.json). CI runs both as the load-smoke job.
 LOAD_ADDR ?= 127.0.0.1:8321
+LOAD_TENANTS ?= 100
+LOAD_MAX_OPEN ?= 16
 load:
 	@set -e; tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
 	$(GO) build -o $$tmp/dsvd ./cmd/dsvd; \
@@ -63,4 +70,13 @@ load:
 	[ -n "$$ok" ] || { echo "dsvd did not become healthy"; exit 1; }; \
 	$$tmp/dsvload -addr http://$(LOAD_ADDR) -mix mixed -duration 10s -concurrency 8 \
 		-preload 32 -out BENCH_load.json -fail-on-error; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	$$tmp/dsvd -addr $(LOAD_ADDR) -multi -tenants-dir $$tmp/tenants -max-open $(LOAD_MAX_OPEN) & pid=$$!; \
+	ok=""; for i in $$(seq 1 50); do \
+		if $$tmp/dsvload -addr http://$(LOAD_ADDR) -mix checkout -duration 0s -preload 1 -tenants 1 -out - >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.2; done; \
+	[ -n "$$ok" ] || { echo "dsvd -multi did not become healthy"; exit 1; }; \
+	$$tmp/dsvload -addr http://$(LOAD_ADDR) -mix mixed -duration 8s -concurrency 8 \
+		-tenants $(LOAD_TENANTS) -tenant-dist zipf -preload $(LOAD_TENANTS) \
+		-out BENCH_load_multi.json -fail-on-error; \
 	kill $$pid; wait $$pid 2>/dev/null || true

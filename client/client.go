@@ -24,6 +24,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/serve"
@@ -58,10 +59,16 @@ type Options struct {
 
 // Client talks to one dsvd daemon. Safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
-	opt  Options
-	co   *coalescer
+	base   string
+	hc     *http.Client
+	opt    Options
+	co     *coalescer
+	window time.Duration // resolved coalescing window (<= 0 disabled)
+
+	// tenants caches Tenant views so repeated Tenant(name) calls share
+	// one per-tenant coalescer.
+	tenMu   sync.Mutex
+	tenants map[string]*TenantClient
 }
 
 // New returns a client for the daemon at baseURL (e.g.
@@ -100,22 +107,39 @@ func New(baseURL string, opt Options) *Client {
 			IdleConnTimeout:     90 * time.Second,
 		}}
 	}
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, opt: opt}
-	window := opt.CoalesceWindow
-	if window == 0 {
-		window = 2 * time.Millisecond
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      hc,
+		opt:     opt,
+		tenants: make(map[string]*TenantClient),
 	}
-	if window > 0 {
-		c.co = newCoalescer(c, window, opt.CoalesceMax)
+	c.window = opt.CoalesceWindow
+	if c.window == 0 {
+		c.window = 2 * time.Millisecond
+	}
+	if c.window > 0 {
+		c.co = newCoalescer(c, "/checkout", c.window, opt.CoalesceMax)
 	}
 	return c
 }
 
-// Close flushes any pending coalesced batch and releases idle pooled
-// connections. The client must not be used afterwards.
+// Close flushes any pending coalesced batches (the root view's and
+// every tenant view's) and releases idle pooled connections. The client
+// and its tenant views must not be used afterwards.
 func (c *Client) Close() {
 	if c.co != nil {
 		c.co.flushPending()
+	}
+	c.tenMu.Lock()
+	views := make([]*TenantClient, 0, len(c.tenants))
+	for _, tc := range c.tenants {
+		views = append(views, tc)
+	}
+	c.tenMu.Unlock()
+	for _, tc := range views {
+		if tc.co != nil {
+			tc.co.flushPending()
+		}
 	}
 	c.hc.CloseIdleConnections()
 }
@@ -139,12 +163,16 @@ type CommitResult struct {
 // Commit appends a version deriving from parent (versioning.NoParent
 // for a root) with the given full content.
 func (c *Client) Commit(ctx context.Context, parent versioning.NodeID, lines []string) (CommitResult, error) {
+	return c.commitPath(ctx, "", parent, lines)
+}
+
+func (c *Client) commitPath(ctx context.Context, prefix string, parent versioning.NodeID, lines []string) (CommitResult, error) {
 	var out CommitResult
 	req := struct {
 		Parent versioning.NodeID `json:"parent"`
 		Lines  []string          `json:"lines"`
 	}{Parent: parent, Lines: lines}
-	err := c.doJSON(ctx, http.MethodPost, "/commit", req, &out, false)
+	err := c.doJSON(ctx, http.MethodPost, prefix+"/commit", req, &out, false)
 	return out, err
 }
 
@@ -154,14 +182,14 @@ func (c *Client) Checkout(ctx context.Context, id versioning.NodeID) ([]string, 
 	if c.co != nil {
 		return c.co.checkout(ctx, id)
 	}
-	return c.checkoutDirect(ctx, id)
+	return c.checkoutDirect(ctx, "", id)
 }
 
-func (c *Client) checkoutDirect(ctx context.Context, id versioning.NodeID) ([]string, error) {
+func (c *Client) checkoutDirect(ctx context.Context, prefix string, id versioning.NodeID) ([]string, error) {
 	var out struct {
 		Lines []string `json:"lines"`
 	}
-	if err := c.doJSON(ctx, http.MethodGet, fmt.Sprintf("/checkout/%d", id), nil, &out, true); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, fmt.Sprintf("%s/checkout/%d", prefix, id), nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out.Lines, nil
@@ -177,7 +205,11 @@ type CheckoutResult struct {
 // CheckoutBatch reconstructs many versions in one request; results are
 // positional.
 func (c *Client) CheckoutBatch(ctx context.Context, ids []versioning.NodeID) ([]CheckoutResult, error) {
-	raw, err := c.checkoutBatchRaw(ctx, ids)
+	return c.checkoutBatchPath(ctx, "", ids)
+}
+
+func (c *Client) checkoutBatchPath(ctx context.Context, prefix string, ids []versioning.NodeID) ([]CheckoutResult, error) {
+	raw, err := c.checkoutBatchRaw(ctx, prefix+"/checkout", ids)
 	if err != nil {
 		return nil, err
 	}
@@ -209,12 +241,12 @@ func (it batchItem) apiError() *APIError {
 	return &APIError{Status: status, Message: it.Error}
 }
 
-func (c *Client) checkoutBatchRaw(ctx context.Context, ids []versioning.NodeID) ([]batchItem, error) {
+func (c *Client) checkoutBatchRaw(ctx context.Context, path string, ids []versioning.NodeID) ([]batchItem, error) {
 	req := struct {
 		IDs []versioning.NodeID `json:"ids"`
 	}{IDs: ids}
 	var out []batchItem
-	if err := c.doJSON(ctx, http.MethodPost, "/checkout", req, &out, true); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, path, req, &out, true); err != nil {
 		return nil, err
 	}
 	if len(out) != len(ids) {
@@ -225,22 +257,34 @@ func (c *Client) checkoutBatchRaw(ctx context.Context, ids []versioning.NodeID) 
 
 // Plan fetches the currently installed plan summary.
 func (c *Client) Plan(ctx context.Context) (versioning.PlanSummary, error) {
+	return c.planPath(ctx, "")
+}
+
+func (c *Client) planPath(ctx context.Context, prefix string) (versioning.PlanSummary, error) {
 	var out versioning.PlanSummary
-	err := c.doJSON(ctx, http.MethodGet, "/plan", nil, &out, true)
+	err := c.doJSON(ctx, http.MethodGet, prefix+"/plan", nil, &out, true)
 	return out, err
 }
 
 // Replan forces a portfolio re-solve and store migration now.
 func (c *Client) Replan(ctx context.Context) (versioning.PlanSummary, error) {
+	return c.replanPath(ctx, "")
+}
+
+func (c *Client) replanPath(ctx context.Context, prefix string) (versioning.PlanSummary, error) {
 	var out versioning.PlanSummary
-	err := c.doJSON(ctx, http.MethodPost, "/replan", struct{}{}, &out, true)
+	err := c.doJSON(ctx, http.MethodPost, prefix+"/replan", struct{}{}, &out, true)
 	return out, err
 }
 
 // Stats fetches the repository's serving statistics.
 func (c *Client) Stats(ctx context.Context) (versioning.RepositoryStats, error) {
+	return c.statsPath(ctx, "")
+}
+
+func (c *Client) statsPath(ctx context.Context, prefix string) (versioning.RepositoryStats, error) {
 	var out versioning.RepositoryStats
-	err := c.doJSON(ctx, http.MethodGet, "/stats", nil, &out, true)
+	err := c.doJSON(ctx, http.MethodGet, prefix+"/stats", nil, &out, true)
 	return out, err
 }
 

@@ -17,6 +17,7 @@ import (
 // without disturbing the batch (result channels are buffered).
 type coalescer struct {
 	c      *Client
+	path   string // batch endpoint ("/checkout", or "/t/{name}/checkout")
 	window time.Duration
 	maxIDs int
 
@@ -39,8 +40,8 @@ type coResult struct {
 	err   error
 }
 
-func newCoalescer(c *Client, window time.Duration, maxIDs int) *coalescer {
-	return &coalescer{c: c, window: window, maxIDs: maxIDs}
+func newCoalescer(c *Client, path string, window time.Duration, maxIDs int) *coalescer {
+	return &coalescer{c: c, path: path, window: window, maxIDs: maxIDs}
 }
 
 // checkout joins (or opens) the pending batch and waits for its share
@@ -109,7 +110,7 @@ func (co *coalescer) flushPending() {
 // The batch runs under its own context: the member contexts belong to
 // individual callers, any of whom may bail without canceling the rest.
 func (co *coalescer) run(b *coBatch) {
-	items, err := co.c.checkoutBatchRaw(context.Background(), b.ids)
+	items, err := co.c.checkoutBatchRaw(context.Background(), co.path, b.ids)
 	if err != nil {
 		for _, ch := range b.waiters {
 			ch <- coResult{err: err}

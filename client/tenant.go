@@ -1,0 +1,96 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"repro/tenant"
+	"repro/versioning"
+)
+
+// TenantClient is a tenant-scoped view of a Client against a
+// multi-tenant daemon (dsvd -multi): the same typed API, routed through
+// /t/{name}/... . Views share their parent's pooled transport, retry
+// policy, and timeouts; each view coalesces its own concurrent
+// Checkouts (batches cannot span tenants, since the daemon's batch
+// endpoint is per-tenant). Obtain views with Client.Tenant; they are
+// safe for concurrent use and closed by Client.Close.
+type TenantClient struct {
+	c      *Client
+	name   string
+	prefix string
+	co     *coalescer
+}
+
+// Tenant returns the scoped view for tenant name, creating it on first
+// use. Repeated calls with the same name return the same view (and
+// therefore share one coalescing window).
+func (c *Client) Tenant(name string) *TenantClient {
+	c.tenMu.Lock()
+	defer c.tenMu.Unlock()
+	if tc, ok := c.tenants[name]; ok {
+		return tc
+	}
+	tc := &TenantClient{c: c, name: name, prefix: "/t/" + url.PathEscape(name)}
+	if c.window > 0 {
+		tc.co = newCoalescer(c, tc.prefix+"/checkout", c.window, c.opt.CoalesceMax)
+	}
+	c.tenants[name] = tc
+	return tc
+}
+
+// Name reports the tenant namespace this view is scoped to.
+func (tc *TenantClient) Name() string { return tc.name }
+
+// Commit appends a version to this tenant (versioning.NoParent for a
+// root). A per-tenant quota violation surfaces as *APIError with
+// status 429.
+func (tc *TenantClient) Commit(ctx context.Context, parent versioning.NodeID, lines []string) (CommitResult, error) {
+	return tc.c.commitPath(ctx, tc.prefix, parent, lines)
+}
+
+// Checkout reconstructs version id of this tenant. Concurrent calls on
+// the same view within the coalescing window ride one batch request.
+func (tc *TenantClient) Checkout(ctx context.Context, id versioning.NodeID) ([]string, error) {
+	if tc.co != nil {
+		return tc.co.checkout(ctx, id)
+	}
+	return tc.c.checkoutDirect(ctx, tc.prefix, id)
+}
+
+// CheckoutBatch reconstructs many versions of this tenant in one
+// request; results are positional.
+func (tc *TenantClient) CheckoutBatch(ctx context.Context, ids []versioning.NodeID) ([]CheckoutResult, error) {
+	return tc.c.checkoutBatchPath(ctx, tc.prefix, ids)
+}
+
+// Plan fetches this tenant's currently installed plan summary.
+func (tc *TenantClient) Plan(ctx context.Context) (versioning.PlanSummary, error) {
+	return tc.c.planPath(ctx, tc.prefix)
+}
+
+// Replan forces a re-solve and store migration for this tenant now.
+func (tc *TenantClient) Replan(ctx context.Context) (versioning.PlanSummary, error) {
+	return tc.c.replanPath(ctx, tc.prefix)
+}
+
+// Stats fetches this tenant's repository statistics (lazily opening the
+// tenant on the daemon if it is not already open).
+func (tc *TenantClient) Stats(ctx context.Context) (versioning.RepositoryStats, error) {
+	return tc.c.statsPath(ctx, tc.prefix)
+}
+
+// Fleetz fetches the daemon's aggregate fleet statistics (multi-tenant
+// daemons only). topK bounds the per-dimension tenant lists; 0 uses the
+// server default.
+func (c *Client) Fleetz(ctx context.Context, topK int) (tenant.FleetStats, error) {
+	path := "/fleetz"
+	if topK > 0 {
+		path = fmt.Sprintf("/fleetz?topk=%d", topK)
+	}
+	var out tenant.FleetStats
+	err := c.doJSON(ctx, http.MethodGet, path, nil, &out, true)
+	return out, err
+}

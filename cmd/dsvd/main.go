@@ -1,11 +1,11 @@
-// Command dsvd is the dataset-versioning serving daemon: a Repository
-// behind HTTP (the handler stack lives in package serve). Clients
-// commit versions and check them out; the daemon keeps the storage
-// layout optimal by re-solving the configured regime through the
-// portfolio engine every -replan-every commits and migrating its
-// content-addressed store to the winning plan.
+// Command dsvd is the dataset-versioning serving daemon: one Repository
+// — or a whole multi-tenant fleet of them — behind HTTP (the handler
+// stack lives in package serve). Clients commit versions and check them
+// out; the daemon keeps every storage layout optimal by re-solving the
+// configured regime through the portfolio engine every -replan-every
+// commits and migrating its content-addressed store to the winning plan.
 //
-// Quick start:
+// Quick start (single repository):
 //
 //	dsvd -addr :8080 -problem MSR -replan-every 8 &
 //	curl -s localhost:8080/commit -d '{"parent":-1,"lines":["v0 line"]}'
@@ -14,21 +14,37 @@
 //	curl -s localhost:8080/plan
 //	curl -s localhost:8080/statsz
 //
+// Multi-tenant fleet (-multi): every repository route moves under
+// /t/{tenant}/..., tenants open lazily on first touch with their own
+// data dir under -tenants-dir, an LRU (-max-open) bounds open
+// repositories (evicted tenants flush cleanly and reopen transparently
+// on the next request), per-tenant quotas (-quota-max-objects,
+// -quota-max-bytes, -quota-commit-rate, -quota-commit-burst) shed
+// over-limit commits with 429 + Retry-After, and GET /fleetz reports
+// open/eviction counts plus per-tenant top-k usage:
+//
+//	dsvd -addr :8080 -multi -tenants-dir ./tenants -max-open 64 &
+//	curl -s localhost:8080/t/alice/commit -d '{"parent":-1,"lines":["hi"]}'
+//	curl -s localhost:8080/t/alice/checkout/0
+//	curl -s localhost:8080/fleetz
+//
 // Storage is pluggable: by default versions live in a sharded in-memory
-// backend (-shards shards); with -data-dir the daemon runs on a durable
-// disk backend plus a write-ahead commit journal, and a restart replays
-// the journal so the full committed history survives a kill. SIGINT and
-// SIGTERM trigger a graceful shutdown: in-flight requests drain, then
-// the journal and backend are flushed.
+// backend (-shards shards); with -data-dir (or -multi -tenants-dir) the
+// daemon runs on durable disk backends plus write-ahead commit
+// journals, and a restart replays the journals so the full committed
+// history survives a kill. SIGINT and SIGTERM trigger a graceful
+// shutdown: in-flight requests drain, then every open repository's
+// journal and backend are flushed, all within the -drain deadline.
 //
 // Serving is hardened for real traffic: admission control bounds
 // concurrent requests (-max-inflight, -max-queue, -queue-wait) and
 // sheds overload with 429 + Retry-After; concurrent checkouts of the
-// same version are singleflighted; per-endpoint latency/throughput
-// counters are served at /statsz. Drive it with cmd/dsvload.
+// same version are singleflighted per tenant; per-endpoint
+// latency/throughput counters are served at /statsz. Drive it with
+// cmd/dsvload (which speaks both modes; see -tenants).
 //
 // -demo N preloads a seeded synthetic history of N commits so /checkout
-// and /plan have something to serve immediately.
+// and /plan have something to serve immediately (single-repo mode only).
 package main
 
 import (
@@ -45,6 +61,7 @@ import (
 
 	"repro/internal/core"
 	"repro/serve"
+	"repro/tenant"
 	"repro/versioning"
 )
 
@@ -68,21 +85,29 @@ func run() error {
 		dataDir     = flag.String("data-dir", "", "durable storage root (objects + commit journal); empty serves from memory")
 		fsync       = flag.Bool("fsync", false, "fsync the commit journal on every commit (with -data-dir)")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-solver deadline inside re-planning races")
-		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests and storage flush")
 		maxInFlight = flag.Int("max-inflight", 0, "admission control: max concurrently executing requests (0 = 4*GOMAXPROCS, negative disables)")
 		maxQueue    = flag.Int("max-queue", 0, "admission control: waiting slots before load shedding (0 = 2*max-inflight)")
 		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "admission control: max time a request queues for a slot")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 responses")
 		ilp         = flag.Bool("ilp", false, "include the exact ILP in MSR re-planning races")
-		demo        = flag.Int("demo", 0, "preload a synthetic history of N commits")
+		demo        = flag.Int("demo", 0, "preload a synthetic history of N commits (single-repo mode)")
 		demoSeed    = flag.Int64("demo-seed", 42, "seed for -demo")
+
+		multi      = flag.Bool("multi", false, "serve a multi-tenant fleet under /t/{tenant}/...")
+		tenantsDir = flag.String("tenants-dir", "", "durable root for per-tenant data dirs (with -multi; empty serves tenants from memory)")
+		maxOpen    = flag.Int("max-open", tenant.DefaultMaxOpen, "max concurrently open tenant repositories (LRU-evicted beyond; negative disables eviction)")
+		quotaObj   = flag.Int("quota-max-objects", 0, "per-tenant cap on content-addressed objects (0 = unlimited)")
+		quotaBytes = flag.Int64("quota-max-bytes", 0, "per-tenant cap on logical bytes (0 = unlimited)")
+		quotaRate  = flag.Float64("quota-commit-rate", 0, "per-tenant commit token-bucket refill rate per second (0 = unlimited)")
+		quotaBurst = flag.Int("quota-commit-burst", 0, "per-tenant commit token-bucket capacity (0 = max(1, rate))")
 	)
 	flag.Parse()
 	problem, err := core.ParseProblem(*problemStr)
 	if err != nil {
 		return err
 	}
-	repo, err := versioning.Open("dsvd", versioning.RepositoryOptions{
+	ropt := versioning.RepositoryOptions{
 		Problem:      problem,
 		Constraint:   *constraint,
 		AutoFactor:   *autoFactor,
@@ -90,38 +115,81 @@ func run() error {
 		CacheEntries: *cache,
 		Workers:      *workers,
 		Shards:       *shards,
-		DataDir:      *dataDir,
 		SyncWrites:   *fsync,
 		EngineOptions: versioning.EngineOptions{
 			SolverTimeout: *timeout,
 			DisableILP:    !*ilp,
 		},
-	})
-	if err != nil {
-		return err
-	}
-	if *dataDir != "" {
-		log.Printf("dsvd: durable storage in %s (%d versions recovered)", *dataDir, repo.Versions())
-	}
-	if *demo > 0 && repo.Versions() == 0 {
-		src := versioning.GenerateRepo("dsvd-demo", *demo, *demoSeed)
-		ctx := context.Background()
-		for v := 0; v < src.Graph.N(); v++ {
-			if _, err := repo.Commit(ctx, src.Parents[v], src.Contents[v]); err != nil {
-				return fmt.Errorf("preloading demo commit %d: %w", v, err)
-			}
-		}
-		log.Printf("dsvd: preloaded %d demo commits (seed %d)", *demo, *demoSeed)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	handler := serve.New(repo, serve.Options{
+	var handler *serve.Server
+	var mgr *tenant.Manager
+	var repo *versioning.Repository
+	sopt := serve.Options{
 		MaxInFlight: *maxInFlight,
 		MaxQueue:    *maxQueue,
 		QueueWait:   *queueWait,
 		RetryAfter:  *retryAfter,
-	})
+	}
+	if *multi {
+		// Refuse single-repo flags that would otherwise be dropped
+		// silently: an operator pointing a fleet at -data-dir would get
+		// in-memory tenants and lose everything on restart.
+		if *dataDir != "" {
+			return errors.New("-data-dir is single-repo only; use -tenants-dir with -multi")
+		}
+		if *demo > 0 {
+			return errors.New("-demo is single-repo only")
+		}
+		// Without a durable root, evicting a tenant would discard its
+		// whole committed history (there is no journal to reopen from), so
+		// an in-memory fleet never evicts.
+		mo := *maxOpen
+		if *tenantsDir == "" && mo >= 0 {
+			log.Printf("dsvd: in-memory fleet, eviction disabled (set -tenants-dir to bound open tenants with -max-open)")
+			mo = -1
+		}
+		mgr = tenant.NewManager(tenant.Options{
+			RootDir: *tenantsDir,
+			MaxOpen: mo,
+			Repo:    ropt,
+			Quota: tenant.Quota{
+				MaxObjects:      *quotaObj,
+				MaxLogicalBytes: *quotaBytes,
+				CommitsPerSec:   *quotaRate,
+				CommitBurst:     *quotaBurst,
+			},
+		})
+		handler = serve.NewMulti(mgr, sopt)
+		if *tenantsDir != "" {
+			log.Printf("dsvd: multi-tenant fleet rooted at %s (max %d open)", *tenantsDir, *maxOpen)
+		} else {
+			log.Printf("dsvd: multi-tenant fleet in memory (max %d open)", *maxOpen)
+		}
+	} else {
+		ropt.DataDir = *dataDir
+		repo, err = versioning.Open("dsvd", ropt)
+		if err != nil {
+			return err
+		}
+		if *dataDir != "" {
+			log.Printf("dsvd: durable storage in %s (%d versions recovered)", *dataDir, repo.Versions())
+		}
+		if *demo > 0 && repo.Versions() == 0 {
+			src := versioning.GenerateRepo("dsvd-demo", *demo, *demoSeed)
+			ctx := context.Background()
+			for v := 0; v < src.Graph.N(); v++ {
+				if _, err := repo.Commit(ctx, src.Parents[v], src.Contents[v]); err != nil {
+					return fmt.Errorf("preloading demo commit %d: %w", v, err)
+				}
+			}
+			log.Printf("dsvd: preloaded %d demo commits (seed %d)", *demo, *demoSeed)
+		}
+		handler = serve.New(repo, sopt)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
@@ -131,21 +199,43 @@ func run() error {
 			errCh <- err
 		}
 	}()
+	closeStorage := func(deadline context.Context) error {
+		handler.Close()
+		if mgr != nil {
+			// Close every open tenant repository (journal + backend flush per
+			// tenant), bounded by the drain deadline: a hung flush must not
+			// wedge shutdown forever, but an abandoned one is reported.
+			done := make(chan error, 1)
+			go func() { done <- mgr.Close() }()
+			select {
+			case err := <-done:
+				return err
+			case <-deadline.Done():
+				return fmt.Errorf("tenant close exceeded drain deadline: %w", deadline.Err())
+			}
+		}
+		return repo.Close()
+	}
 	select {
 	case err := <-errCh:
-		repo.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if cerr := closeStorage(shutdownCtx); cerr != nil {
+			log.Printf("dsvd: closing storage: %v", cerr)
+		}
 		return err
 	case <-ctx.Done():
 	}
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
-	// flush the journal and the backend so a restart recovers everything.
+	// flush every journal and backend so a restart recovers everything.
+	// The whole sequence shares one -drain deadline.
 	log.Printf("dsvd: shutting down (draining up to %s)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("dsvd: drain incomplete: %v", err)
 	}
-	if err := repo.Close(); err != nil {
+	if err := closeStorage(shutdownCtx); err != nil {
 		return fmt.Errorf("flushing storage: %w", err)
 	}
 	log.Printf("dsvd: storage flushed, bye")

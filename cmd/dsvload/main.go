@@ -12,6 +12,17 @@
 //	        -dist zipf -duration 10s -concurrency 16 -preload 64 \
 //	        -out BENCH_load.json
 //
+// Against a multi-tenant daemon (dsvd -multi), -tenants N spreads the
+// same mixes across N tenant namespaces (t000, t001, ...), each op
+// first picking a tenant under -tenant-dist (zipf skews load onto a hot
+// head of tenants — the pattern that exercises the manager's LRU and
+// reopen path; uniform touches every tenant evenly, the worst case for
+// a bounded -max-open):
+//
+//	dsvd -addr :8080 -multi -tenants-dir ./tenants -max-open 16 &
+//	dsvload -addr http://localhost:8080 -tenants 100 -tenant-dist zipf \
+//	        -mix mixed -duration 10s -preload 100
+//
 // Mixes:
 //
 //	checkout  100% checkouts over the committed versions
@@ -63,6 +74,8 @@ type config struct {
 	coalesce    time.Duration
 	out         string
 	failOnErr   bool
+	tenants     int
+	tenantDist  string
 }
 
 // validate rejects configurations that would silently measure
@@ -86,6 +99,18 @@ func (cfg config) validate() error {
 	if cfg.rate < 0 || cfg.rate > 100_000 {
 		return fmt.Errorf("-rate must be in [0, 100000] arrivals/s (got %g)", cfg.rate)
 	}
+	if cfg.tenants < 0 {
+		return fmt.Errorf("-tenants must be >= 0 (got %d)", cfg.tenants)
+	}
+	switch cfg.tenantDist {
+	case "uniform":
+	case "", "zipf": // empty = the zipf default
+		if cfg.tenants > 0 && cfg.zipfS <= 1 {
+			return fmt.Errorf("-zipf-s must be > 1 for -tenant-dist zipf (got %g)", cfg.zipfS)
+		}
+	default:
+		return fmt.Errorf("unknown -tenant-dist %q (want zipf|uniform)", cfg.tenantDist)
+	}
 	return nil
 }
 
@@ -100,12 +125,14 @@ func main() {
 	flag.IntVar(&cfg.concurrency, "concurrency", 16, "concurrent workers")
 	flag.Float64Var(&cfg.rate, "rate", 0, "open-loop arrivals per second (0 = closed loop)")
 	flag.Float64Var(&cfg.commitRatio, "commit-ratio", 0.1, "commit fraction of the mixed workload")
-	flag.IntVar(&cfg.preload, "preload", 64, "ensure at least this many committed versions before loading")
+	flag.IntVar(&cfg.preload, "preload", 64, "ensure at least this many committed versions before loading (spread across tenants with -tenants)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
 	flag.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request client timeout")
 	flag.DurationVar(&cfg.coalesce, "coalesce", -1, "client batch-coalescing window; negative (default) disables it so latencies measure the server, not the client's batching delay")
 	flag.StringVar(&cfg.out, "out", "BENCH_load.json", "report path (- for stdout only)")
 	flag.BoolVar(&cfg.failOnErr, "fail-on-error", false, "exit nonzero if any operation errored")
+	flag.IntVar(&cfg.tenants, "tenants", 0, "spread load across N tenants of a dsvd -multi daemon (0 = single-repo mode)")
+	flag.StringVar(&cfg.tenantDist, "tenant-dist", "zipf", "tenant popularity with -tenants: zipf|uniform")
 	flag.Parse()
 	for _, m := range strings.Split(mixList, ",") {
 		cfg.mixes = append(cfg.mixes, strings.TrimSpace(m))
@@ -140,8 +167,29 @@ func main() {
 	}
 }
 
-// runLoad preloads the target and runs every configured mix in turn.
+// api is the slice of the typed client both the root Client and a
+// TenantClient satisfy — one target the workers drive.
+type api interface {
+	Commit(ctx context.Context, parent versioning.NodeID, lines []string) (client.CommitResult, error)
+	Checkout(ctx context.Context, id versioning.NodeID) ([]string, error)
+}
+
+// target is one namespace under load: its API view and the live count
+// of committed versions (the checkout id space).
+type target struct {
+	api      api
+	name     string
+	versions atomic.Int64
+}
+
+// tenantName formats the i-th synthetic tenant namespace.
+func tenantName(i int) string { return fmt.Sprintf("t%03d", i) }
+
+// runLoad preloads the target(s) and runs every configured mix in turn.
 func runLoad(cfg config) (Report, error) {
+	if cfg.tenantDist == "" {
+		cfg.tenantDist = "zipf"
+	}
 	if err := cfg.validate(); err != nil {
 		return Report{}, err
 	}
@@ -151,21 +199,13 @@ func runLoad(cfg config) (Report, error) {
 	})
 	defer c.Close()
 	ctx := context.Background()
-	versions, err := c.Healthz(ctx)
-	if err != nil {
+	if _, err := c.Healthz(ctx); err != nil {
 		return Report{}, fmt.Errorf("probing %s: %w", cfg.addr, err)
 	}
 	rng := rand.New(rand.NewSource(cfg.seed))
-	for versions < cfg.preload {
-		parent := versioning.NodeID(versions - 1)
-		if versions == 0 {
-			parent = versioning.NoParent
-		}
-		cr, err := c.Commit(ctx, parent, synthLines(rng, versions))
-		if err != nil {
-			return Report{}, fmt.Errorf("preloading version %d: %w", versions, err)
-		}
-		versions = cr.Versions
+	targets, err := buildTargets(ctx, c, cfg, rng)
+	if err != nil {
+		return Report{}, err
 	}
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -173,19 +213,76 @@ func runLoad(cfg config) (Report, error) {
 		Seed:        cfg.seed,
 		Dist:        cfg.dist,
 		Concurrency: cfg.concurrency,
+		Tenants:     cfg.tenants,
+	}
+	if cfg.tenants > 0 {
+		rep.TenantDist = cfg.tenantDist
 	}
 	if cfg.coalesce >= 0 {
 		rep.CoalesceWindowMS = float64(cfg.coalesce) / float64(time.Millisecond)
 		rep.Coalescing = true
 	}
 	for i, mix := range cfg.mixes {
-		mr, err := runMix(c, cfg, mix, cfg.seed+int64(i)*7919)
+		mr, err := runMix(targets, cfg, mix, cfg.seed+int64(i)*7919)
 		if err != nil {
 			return rep, fmt.Errorf("mix %q: %w", mix, err)
 		}
 		rep.Mixes = append(rep.Mixes, mr)
 	}
 	return rep, nil
+}
+
+// buildTargets resolves the namespaces under load and preloads each to
+// its share of -preload committed versions: the single repository, or
+// one target per tenant (every tenant gets at least one version, so
+// checkouts always have something to hit).
+func buildTargets(ctx context.Context, c *client.Client, cfg config, rng *rand.Rand) ([]*target, error) {
+	if cfg.tenants == 0 {
+		versions, err := c.Healthz(ctx)
+		if err != nil {
+			return nil, err
+		}
+		t := &target{api: c, name: ""}
+		if err := preloadTarget(ctx, t, versions, cfg.preload, rng); err != nil {
+			return nil, err
+		}
+		return []*target{t}, nil
+	}
+	perTenant := cfg.preload / cfg.tenants
+	if perTenant < 1 {
+		perTenant = 1
+	}
+	targets := make([]*target, cfg.tenants)
+	for i := range targets {
+		tc := c.Tenant(tenantName(i))
+		t := &target{api: tc, name: tc.Name()}
+		st, err := tc.Stats(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("probing tenant %s: %w", t.name, err)
+		}
+		if err := preloadTarget(ctx, t, st.Versions, perTenant, rng); err != nil {
+			return nil, err
+		}
+		targets[i] = t
+	}
+	return targets, nil
+}
+
+// preloadTarget commits until t holds at least want versions.
+func preloadTarget(ctx context.Context, t *target, have, want int, rng *rand.Rand) error {
+	for have < want {
+		parent := versioning.NodeID(have - 1)
+		if have == 0 {
+			parent = versioning.NoParent
+		}
+		cr, err := t.api.Commit(ctx, parent, synthLines(rng, have))
+		if err != nil {
+			return fmt.Errorf("preloading %s version %d: %w", t.name, have, err)
+		}
+		have = cr.Versions
+	}
+	t.versions.Store(int64(have))
+	return nil
 }
 
 // mixRatio maps a mix name to its commit fraction.
@@ -204,8 +301,7 @@ func mixRatio(cfg config, mix string) (float64, error) {
 
 // loadState is the per-mix shared state the workers drive.
 type loadState struct {
-	c          *client.Client
-	versions   atomic.Int64 // committed version count (checkout id space)
+	targets    []*target
 	checkoutHG metrics.Histogram
 	commitHG   metrics.Histogram
 	checkouts  atomic.Int64
@@ -216,21 +312,18 @@ type loadState struct {
 }
 
 // runMix drives one workload mix for cfg.duration and summarizes it.
-func runMix(c *client.Client, cfg config, mix string, seed int64) (MixReport, error) {
+func runMix(targets []*target, cfg config, mix string, seed int64) (MixReport, error) {
 	ratio, err := mixRatio(cfg, mix)
 	if err != nil {
 		return MixReport{}, err
 	}
 	ctx := context.Background()
-	versions, err := c.Healthz(ctx)
-	if err != nil {
-		return MixReport{}, err
+	for _, t := range targets {
+		if t.versions.Load() == 0 {
+			return MixReport{}, fmt.Errorf("target %q has no versions (use -preload)", t.name)
+		}
 	}
-	if versions == 0 {
-		return MixReport{}, fmt.Errorf("target has no versions (use -preload)")
-	}
-	st := &loadState{c: c}
-	st.versions.Store(int64(versions))
+	st := &loadState{targets: targets}
 
 	start := time.Now()
 	deadline := start.Add(cfg.duration)
@@ -263,7 +356,11 @@ func runMix(c *client.Client, cfg config, mix string, seed int64) (MixReport, er
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)))
-			pick := newPicker(cfg, rng, versions)
+			picks := make([]*picker, len(targets))
+			for i, t := range targets {
+				picks[i] = newPicker(cfg, rng, int(t.versions.Load()))
+			}
+			tpick := newTenantPicker(cfg, rng, len(targets))
 			for {
 				if arrivals != nil {
 					if _, ok := <-arrivals; !ok {
@@ -272,7 +369,8 @@ func runMix(c *client.Client, cfg config, mix string, seed int64) (MixReport, er
 				} else if !time.Now().Before(deadline) {
 					return
 				}
-				st.step(ctx, rng, pick, ratio, w)
+				ti := tpick.idx()
+				st.step(ctx, rng, targets[ti], picks[ti], ratio, w)
 			}
 		}(w)
 	}
@@ -309,24 +407,24 @@ func runMix(c *client.Client, cfg config, mix string, seed int64) (MixReport, er
 	return mr, nil
 }
 
-// step executes one operation and records its latency.
-func (st *loadState) step(ctx context.Context, rng *rand.Rand, pick *picker, ratio float64, w int) {
+// step executes one operation against t and records its latency.
+func (st *loadState) step(ctx context.Context, rng *rand.Rand, t *target, pick *picker, ratio float64, w int) {
 	if rng.Float64() < ratio {
-		parent := versioning.NodeID(pick.id(st.versions.Load()))
+		parent := versioning.NodeID(pick.id(t.versions.Load()))
 		t0 := time.Now()
-		cr, err := st.c.Commit(ctx, parent, synthLines(rng, int(st.commits.Load())*1000+w))
+		cr, err := t.api.Commit(ctx, parent, synthLines(rng, int(st.commits.Load())*1000+w))
 		st.commitHG.Observe(time.Since(t0))
 		st.commits.Add(1)
 		if err != nil {
 			st.recordErr(err)
 			return
 		}
-		st.versions.Store(int64(cr.Versions))
+		t.versions.Store(int64(cr.Versions))
 		return
 	}
-	id := versioning.NodeID(pick.id(st.versions.Load()))
+	id := versioning.NodeID(pick.id(t.versions.Load()))
 	t0 := time.Now()
-	_, err := st.c.Checkout(ctx, id)
+	_, err := t.api.Checkout(ctx, id)
 	st.checkoutHG.Observe(time.Since(t0))
 	st.checkouts.Add(1)
 	if err != nil {
@@ -375,6 +473,33 @@ func (p *picker) id(versions int64) int64 {
 		return id
 	}
 	return p.rng.Int63n(versions)
+}
+
+// tenantPicker draws tenant indices under -tenant-dist. Zipf rank 0 =
+// tenant 0, modelling a hot head of busy tenants over a long tail that
+// mostly sits evicted.
+type tenantPicker struct {
+	zipf *rand.Zipf
+	rng  *rand.Rand
+	n    int
+}
+
+func newTenantPicker(cfg config, rng *rand.Rand, n int) *tenantPicker {
+	tp := &tenantPicker{rng: rng, n: n}
+	if cfg.tenantDist == "zipf" && n > 1 {
+		tp.zipf = rand.NewZipf(rng, cfg.zipfS, 1, uint64(n-1))
+	}
+	return tp
+}
+
+func (tp *tenantPicker) idx() int {
+	if tp.n <= 1 {
+		return 0
+	}
+	if tp.zipf != nil {
+		return int(tp.zipf.Uint64())
+	}
+	return tp.rng.Intn(tp.n)
 }
 
 // synthLines generates a deterministic ~20-line version body; n salts

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/serve"
+	"repro/tenant"
 	"repro/versioning"
 )
 
@@ -79,6 +80,68 @@ func TestRunLoadEndToEnd(t *testing.T) {
 	}
 	if len(back.Mixes) != 3 || back.Mixes[1].PerOp["commit"].Ops == 0 {
 		t.Fatalf("report did not survive a JSON round trip: %+v", back)
+	}
+}
+
+// TestRunLoadMultiTenant drives a real multi-tenant stack with more
+// tenants than the manager may keep open, so the load path covers
+// lazy opens, LRU eviction, and transparent reopen — with zero errors.
+func TestRunLoadMultiTenant(t *testing.T) {
+	mgr := tenant.NewManager(tenant.Options{
+		RootDir: t.TempDir(),
+		MaxOpen: 3,
+		Repo: versioning.RepositoryOptions{
+			ReplanEvery:   -1,
+			EngineOptions: versioning.EngineOptions{SolverTimeout: 10 * time.Second, DisableILP: true},
+		},
+	})
+	t.Cleanup(func() { mgr.Close() })
+	ts := httptest.NewServer(serve.NewMulti(mgr, serve.Options{}))
+	t.Cleanup(ts.Close)
+
+	cfg := config{
+		addr:        ts.URL,
+		mixes:       []string{"mixed"},
+		dist:        "zipf",
+		zipfS:       1.2,
+		duration:    300 * time.Millisecond,
+		concurrency: 4,
+		commitRatio: 0.2,
+		preload:     10,
+		seed:        7,
+		timeout:     5 * time.Second,
+		coalesce:    -1,
+		tenants:     10,
+		tenantDist:  "zipf",
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tenants != 10 || rep.TenantDist != "zipf" {
+		t.Fatalf("report tenant fields = %d %q", rep.Tenants, rep.TenantDist)
+	}
+	mr := rep.Mixes[0]
+	if mr.Ops == 0 {
+		t.Fatal("multi-tenant mix executed no operations")
+	}
+	if mr.Errors != 0 {
+		t.Fatalf("%d errors against a healthy fleet (eviction must be transparent)", mr.Errors)
+	}
+	fleet := mgr.Fleet(10)
+	if fleet.Tenants != 10 {
+		t.Fatalf("fleet tenants = %d, want 10", fleet.Tenants)
+	}
+	if fleet.Evictions == 0 {
+		t.Error("10 tenants with MaxOpen 3 never evicted")
+	}
+	// Uniform tenant dist also draws valid indices.
+	rngT := rand.New(rand.NewSource(1))
+	tp := newTenantPicker(config{tenantDist: "uniform"}, rngT, 10)
+	for i := 0; i < 1000; i++ {
+		if idx := tp.idx(); idx < 0 || idx >= 10 {
+			t.Fatalf("uniform tenant idx %d out of range", idx)
+		}
 	}
 }
 

@@ -12,6 +12,10 @@ type Report struct {
 	Seed        int64  `json:"seed"`
 	Dist        string `json:"dist"`
 	Concurrency int    `json:"concurrency"`
+	// Tenants > 0 means the load was spread across that many tenant
+	// namespaces of a dsvd -multi daemon under TenantDist popularity.
+	Tenants    int    `json:"tenants,omitempty"`
+	TenantDist string `json:"tenant_dist,omitempty"`
 	// Coalescing reports whether client-side batch coalescing was on
 	// (-coalesce >= 0). Off by default so latencies measure the server,
 	// not the client's batching window.

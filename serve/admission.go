@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"runtime"
-	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -38,8 +37,7 @@ func newLimiter(opt Options) *limiter {
 	if retryAfter <= 0 {
 		retryAfter = time.Second
 	}
-	secs := int64((retryAfter + time.Second - 1) / time.Second)
-	l.retryAfterHeader = strconv.FormatInt(secs, 10)
+	l.retryAfterHeader = retryAfterSeconds(retryAfter)
 	if opt.MaxInFlight < 0 {
 		return l // limiter disabled
 	}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/tenant"
+)
+
+// NewMulti returns a Server that routes every repository endpoint
+// through mgr's namespace map:
+//
+//	POST /t/{tenant}/commit
+//	GET  /t/{tenant}/checkout/{id}
+//	POST /t/{tenant}/checkout        (batch)
+//	POST /t/{tenant}/replan
+//	GET  /t/{tenant}/plan
+//	GET  /t/{tenant}/stats
+//	GET  /fleetz                     aggregate fleet stats
+//	GET  /statsz                     per-endpoint counters (+ fleet)
+//	GET  /healthz                    liveness probe
+//
+// Each request acquires a manager Handle for its tenant — lazily
+// opening (or transparently reopening after an eviction) the tenant's
+// repository — and releases it when the handler returns, so the LRU can
+// never close a repository out from under a live request. Admission
+// control, per-endpoint metrics, and checkout singleflight apply
+// exactly as in single-repository mode, with flight state scoped to the
+// tenant's open generation. Commits pass through the manager's
+// per-tenant quota gate and surface violations as 429 + Retry-After.
+func NewMulti(mgr *tenant.Manager, opt Options) *Server {
+	s := newServer(opt)
+	s.mgr = mgr
+	// Evicted tenants lose their cached serving state immediately; the
+	// generation check in tenantState catches the races the callback
+	// ordering cannot.
+	mgr.OnEvict(s.dropTenant)
+	s.handleTenant("commit", "POST /t/{tenant}/commit", s.handleCommit)
+	s.handleTenant("checkout", "GET /t/{tenant}/checkout/{id}", s.handleCheckout)
+	s.handleTenant("checkout_batch", "POST /t/{tenant}/checkout", s.handleCheckoutBatch)
+	s.handleTenant("replan", "POST /t/{tenant}/replan", s.handleReplan)
+	s.handleTenant("plan", "GET /t/{tenant}/plan", s.handlePlan)
+	s.handleTenant("stats", "GET /t/{tenant}/stats", s.handleStats)
+	s.handle("fleetz", "GET /fleetz", s.handleFleetz, false)
+	s.handle("statsz", "GET /statsz", s.handleStatsz, false)
+	s.handle("healthz", "GET /healthz", s.handleHealthz, false)
+	return s
+}
+
+// handleTenant registers a tenant-scoped endpoint: the wrapper resolves
+// {tenant} through the manager, pins the repository open for the
+// request's duration, and binds the per-incarnation serving state.
+func (s *Server) handleTenant(name, pattern string, h func(*repoState, http.ResponseWriter, *http.Request)) {
+	s.handle(name, pattern, func(w http.ResponseWriter, r *http.Request) {
+		tn := r.PathValue("tenant")
+		hdl, err := s.mgr.Acquire(r.Context(), tn)
+		if err != nil {
+			writeJSON(w, acquireErrStatus(err), errorResponse{Error: err.Error()})
+			return
+		}
+		defer hdl.Release()
+		h(s.tenantState(hdl), w, r)
+	}, true)
+}
+
+// acquireErrStatus maps a manager Acquire failure to HTTP: a bad name
+// is the client's fault, a closed manager is a shutdown, a canceled
+// context is the caller giving up, and anything else (an open failure)
+// is ours.
+func acquireErrStatus(err error) int {
+	switch {
+	case errors.Is(err, tenant.ErrBadName):
+		return http.StatusBadRequest
+	case errors.Is(err, tenant.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// tenantState returns the cached serving state for hdl's tenant,
+// replacing any state from an older open generation so a reopened
+// tenant never joins a stale singleflight.
+func (s *Server) tenantState(hdl *tenant.Handle) *repoState {
+	s.tenMu.Lock()
+	defer s.tenMu.Unlock()
+	st := s.tenants[hdl.Name()]
+	if st == nil || st.gen != hdl.Gen() {
+		st = newRepoState(hdl.Name(), hdl.Gen(), hdl.Repo())
+		s.tenants[hdl.Name()] = st
+	}
+	return st
+}
+
+// dropTenant is the manager's eviction callback: the tenant's cached
+// serving state (repository pointer, singleflight map) is discarded so
+// nothing can serve through the closed repository.
+func (s *Server) dropTenant(name string) {
+	s.tenMu.Lock()
+	delete(s.tenants, name)
+	s.tenMu.Unlock()
+}
+
+// handleFleetz serves the aggregate fleet snapshot. topk bounds the
+// per-dimension tenant lists (default 5, capped at 100).
+func (s *Server) handleFleetz(w http.ResponseWriter, r *http.Request) {
+	topK := 5
+	if v := r.URL.Query().Get("topk"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			topK = n
+			if topK > 100 {
+				topK = 100
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, s.mgr.Fleet(topK))
+}

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/tenant"
+	"repro/versioning"
+)
+
+// jsonBody renders body as a request reader.
+func jsonBody(t *testing.T, body any) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// tryPostJSON is postJSON without t.Fatal semantics, for concurrent
+// workers: reports transport success and the status code.
+func tryPostJSON(url string, body any, out any) (bool, int) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return false, 0
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return false, 0
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return false, resp.StatusCode
+		}
+	}
+	return true, resp.StatusCode
+}
+
+// testManager builds a cheap multi-tenant manager (explicit-only
+// re-planning) over root ("" = in-memory tenants).
+func testManager(t *testing.T, root string, opt tenant.Options) *tenant.Manager {
+	t.Helper()
+	opt.RootDir = root
+	if opt.Repo.ReplanEvery == 0 {
+		opt.Repo.ReplanEvery = -1
+	}
+	if opt.Repo.EngineOptions == (versioning.EngineOptions{}) {
+		opt.Repo.EngineOptions = versioning.EngineOptions{SolverTimeout: 10 * time.Second, DisableILP: true}
+	}
+	m := tenant.NewManager(opt)
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func multiServer(t *testing.T, mgr *tenant.Manager, sopt Options) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewMulti(mgr, sopt))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestMultiTenantRoutingAndIsolation(t *testing.T) {
+	mgr := testManager(t, "", tenant.Options{})
+	ts := multiServer(t, mgr, Options{})
+
+	var cr commitResponse
+	if code := postJSON(t, ts.URL+"/t/alice/commit", map[string]any{"parent": -1, "lines": []string{"alice v0"}}, &cr); code != http.StatusOK {
+		t.Fatalf("alice commit = %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/t/bob/commit", map[string]any{"parent": -1, "lines": []string{"bob v0", "bob second line"}}, &cr); code != http.StatusOK {
+		t.Fatalf("bob commit = %d", code)
+	}
+
+	var co checkoutResponse
+	if code := getJSON(t, ts.URL+"/t/alice/checkout/0", &co); code != http.StatusOK {
+		t.Fatalf("alice checkout = %d", code)
+	}
+	if len(co.Lines) != 1 || co.Lines[0] != "alice v0" {
+		t.Fatalf("alice content = %q", co.Lines)
+	}
+	if code := getJSON(t, ts.URL+"/t/bob/checkout/0", &co); code != http.StatusOK {
+		t.Fatalf("bob checkout = %d", code)
+	}
+	if len(co.Lines) != 2 || co.Lines[0] != "bob v0" {
+		t.Fatalf("bob content = %q", co.Lines)
+	}
+	// Namespaces are isolated: alice has one version, so id 1 is unknown
+	// even though the fleet holds two versions total.
+	var er errorResponse
+	if code := getJSON(t, ts.URL+"/t/alice/checkout/1", &er); code != http.StatusNotFound {
+		t.Fatalf("cross-tenant id = %d, want 404", code)
+	}
+
+	var stats versioning.RepositoryStats
+	if code := getJSON(t, ts.URL+"/t/alice/stats", &stats); code != http.StatusOK || stats.Versions != 1 {
+		t.Fatalf("alice stats = %d, %+v", stats.Versions, stats)
+	}
+}
+
+func TestMultiTenantBadNameRejected(t *testing.T) {
+	mgr := testManager(t, "", tenant.Options{})
+	ts := multiServer(t, mgr, Options{})
+	for _, bad := range []string{"a%20b", ".hidden", "-flag", "a%00b"} {
+		var er errorResponse
+		code := getJSON(t, ts.URL+"/t/"+bad+"/checkout/0", &er)
+		if code != http.StatusBadRequest {
+			t.Errorf("tenant %q: status %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestMultiTenantEvictionTransparentReopen(t *testing.T) {
+	root := t.TempDir()
+	mgr := testManager(t, root, tenant.Options{MaxOpen: 1})
+	ts := multiServer(t, mgr, Options{})
+
+	var cr commitResponse
+	if code := postJSON(t, ts.URL+"/t/t1/commit", map[string]any{"parent": -1, "lines": []string{"t1 v0"}}, &cr); code != http.StatusOK {
+		t.Fatalf("t1 commit = %d", code)
+	}
+	// Touching t2 evicts t1 (MaxOpen 1).
+	if code := postJSON(t, ts.URL+"/t/t2/commit", map[string]any{"parent": -1, "lines": []string{"t2 v0"}}, &cr); code != http.StatusOK {
+		t.Fatalf("t2 commit = %d", code)
+	}
+	// t1 must serve transparently from its reopened journal.
+	var co checkoutResponse
+	if code := getJSON(t, ts.URL+"/t/t1/checkout/0", &co); code != http.StatusOK {
+		t.Fatalf("t1 checkout after eviction = %d", code)
+	}
+	if len(co.Lines) != 1 || co.Lines[0] != "t1 v0" {
+		t.Fatalf("t1 reopened content = %q", co.Lines)
+	}
+
+	var fleet tenant.FleetStats
+	if code := getJSON(t, ts.URL+"/fleetz", &fleet); code != http.StatusOK {
+		t.Fatalf("fleetz = %d", code)
+	}
+	if fleet.Evictions < 1 || fleet.Reopens < 1 || fleet.Tenants != 2 {
+		t.Fatalf("fleetz = %+v", fleet)
+	}
+
+	// And /statsz carries the fleet block in multi mode.
+	var sz Statsz
+	if code := getJSON(t, ts.URL+"/statsz", &sz); code != http.StatusOK || sz.Fleet == nil {
+		t.Fatalf("statsz fleet missing: %d %+v", code, sz)
+	}
+}
+
+func TestMultiTenantQuota429(t *testing.T) {
+	mgr := testManager(t, "", tenant.Options{
+		Quota: tenant.Quota{CommitsPerSec: 0.001, CommitBurst: 1},
+	})
+	ts := multiServer(t, mgr, Options{})
+
+	var cr commitResponse
+	if code := postJSON(t, ts.URL+"/t/alice/commit", map[string]any{"parent": -1, "lines": []string{"v0"}}, &cr); code != http.StatusOK {
+		t.Fatalf("first commit = %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/t/alice/commit", "application/json",
+		jsonBody(t, map[string]any{"parent": 0, "lines": []string{"v1"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota commit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	// Quota throttling is per tenant: bob commits freely.
+	if code := postJSON(t, ts.URL+"/t/bob/commit", map[string]any{"parent": -1, "lines": []string{"v0"}}, &cr); code != http.StatusOK {
+		t.Fatalf("bob commit = %d", code)
+	}
+	// Checkouts are never rate-limited by the commit bucket.
+	var co checkoutResponse
+	if code := getJSON(t, ts.URL+"/t/alice/checkout/0", &co); code != http.StatusOK {
+		t.Fatalf("checkout under commit quota = %d", code)
+	}
+}
+
+// TestTwoServersCoexist pins the per-instance mux contract: a
+// single-repo Server and a multi-tenant Server (and a second
+// single-repo Server) run side by side in one process without pattern
+// collisions or shared state.
+func TestTwoServersCoexist(t *testing.T) {
+	repoA := versioning.NewRepository("a", versioning.RepositoryOptions{ReplanEvery: -1,
+		EngineOptions: versioning.EngineOptions{SolverTimeout: 10 * time.Second, DisableILP: true}})
+	repoB := versioning.NewRepository("b", versioning.RepositoryOptions{ReplanEvery: -1,
+		EngineOptions: versioning.EngineOptions{SolverTimeout: 10 * time.Second, DisableILP: true}})
+	tsA := httptest.NewServer(New(repoA, Options{}))
+	defer tsA.Close()
+	tsB := httptest.NewServer(New(repoB, Options{}))
+	defer tsB.Close()
+	mgr := testManager(t, "", tenant.Options{})
+	tsM := multiServer(t, mgr, Options{})
+
+	var cr commitResponse
+	if code := postJSON(t, tsA.URL+"/commit", map[string]any{"parent": -1, "lines": []string{"A"}}, &cr); code != http.StatusOK {
+		t.Fatalf("server A commit = %d", code)
+	}
+	if code := postJSON(t, tsM.URL+"/t/x/commit", map[string]any{"parent": -1, "lines": []string{"X"}}, &cr); code != http.StatusOK {
+		t.Fatalf("multi server commit = %d", code)
+	}
+	// B saw neither commit: its repo is empty and its counters are zero.
+	var co checkoutResponse
+	if code := getJSON(t, tsB.URL+"/checkout/0", &co); code != http.StatusNotFound {
+		t.Fatalf("server B checkout = %d, want 404 (empty repo)", code)
+	}
+	var szA, szB Statsz
+	if code := getJSON(t, tsA.URL+"/statsz", &szA); code != http.StatusOK {
+		t.Fatalf("A statsz = %d", code)
+	}
+	if code := getJSON(t, tsB.URL+"/statsz", &szB); code != http.StatusOK {
+		t.Fatalf("B statsz = %d", code)
+	}
+	if szA.Endpoints["commit"].Requests != 1 {
+		t.Fatalf("A commit requests = %d, want 1", szA.Endpoints["commit"].Requests)
+	}
+	if szB.Endpoints["commit"].Requests != 0 {
+		t.Fatalf("B commit requests = %d, want 0 (counters leaked across instances)", szB.Endpoints["commit"].Requests)
+	}
+}
+
+// TestMultiTenantConcurrentChurnRace drives concurrent commits and
+// checkouts across more tenants than MaxOpen through the full HTTP
+// stack, so -race covers the acquire/evict/reopen/singleflight paths
+// end to end. Zero failed requests is the acceptance bar: eviction must
+// be invisible to clients.
+func TestMultiTenantConcurrentChurnRace(t *testing.T) {
+	const tenants = 6
+	root := t.TempDir()
+	mgr := testManager(t, root, tenant.Options{MaxOpen: 2})
+	ts := multiServer(t, mgr, Options{})
+
+	var cr commitResponse
+	for i := 0; i < tenants; i++ {
+		url := fmt.Sprintf("%s/t/t%d/commit", ts.URL, i)
+		if code := postJSON(t, url, map[string]any{"parent": -1, "lines": []string{fmt.Sprintf("t%d v0", i)}}, &cr); code != http.StatusOK {
+			t.Fatalf("seed commit %d = %d", i, code)
+		}
+	}
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				ti := (w + i) % tenants
+				if i%5 == 0 {
+					url := fmt.Sprintf("%s/t/t%d/commit", ts.URL, ti)
+					var r commitResponse
+					b, code := tryPostJSON(url, map[string]any{"parent": 0, "lines": []string{fmt.Sprintf("t%d w%d i%d", ti, w, i)}}, &r)
+					if !b || code != http.StatusOK {
+						failures.Add(1)
+					}
+					continue
+				}
+				resp, err := http.Get(fmt.Sprintf("%s/t/t%d/checkout/0", ts.URL, ti))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d requests failed during churn (eviction must be transparent)", failures.Load())
+	}
+	var fleet tenant.FleetStats
+	if code := getJSON(t, ts.URL+"/fleetz?topk=3", &fleet); code != http.StatusOK {
+		t.Fatalf("fleetz = %d", code)
+	}
+	if fleet.Evictions == 0 {
+		t.Error("churn over MaxOpen 2 never evicted")
+	}
+	if len(fleet.TopByObjects) > 3 {
+		t.Errorf("topk=3 returned %d entries", len(fleet.TopByObjects))
+	}
+}

@@ -1,6 +1,7 @@
-// Package serve is dsvd's HTTP serving layer: it wires a
-// versioning.Repository to HTTP and hardens the hot path for real
-// traffic. Endpoints:
+// Package serve is dsvd's HTTP serving layer: it wires one
+// versioning.Repository — or a whole tenant.Manager fleet of them — to
+// HTTP and hardens the hot path for real traffic. Single-repository
+// endpoints (New):
 //
 //	POST /commit         {"parent": -1, "lines": [...]} -> commitResponse
 //	GET  /checkout/{id}  -> checkoutResponse
@@ -11,21 +12,30 @@
 //	GET  /statsz         -> Statsz: per-endpoint latency/throughput counters
 //	GET  /healthz        liveness probe
 //
+// Multi-tenant endpoints (NewMulti, see multi.go) move the repository
+// routes under /t/{tenant}/... and add GET /fleetz.
+//
 // Hardening beyond the bare handlers:
 //
 //   - Admission control: at most Options.MaxInFlight requests execute at
 //     once; a bounded queue absorbs bursts and overflow is rejected with
 //     429 + Retry-After instead of letting goroutines and latency pile
-//     up unbounded. Probes (/healthz, /statsz) bypass the limiter so
-//     operators can observe an overloaded server.
+//     up unbounded. Probes (/healthz, /statsz, /fleetz) bypass the
+//     limiter so operators can observe an overloaded server.
 //   - Singleflight on GET /checkout/{id}: concurrent requests for the
-//     same version share one reconstruction (popular-version stampedes
-//     cost one store hit).
+//     same version of the same tenant share one reconstruction
+//     (popular-version stampedes cost one store hit). Flight state is
+//     keyed by the tenant's open generation and dropped when the
+//     manager evicts the tenant, so a reopened tenant can never be
+//     served from a stale flight.
 //   - Per-endpoint metrics: request/error counts and log-linear latency
 //     histograms (internal/metrics) surfaced by /statsz.
 //
 // The package is importable so cmd/dsvd, the load generator's tests,
-// and examples can all run the exact production handler stack.
+// and examples can all run the exact production handler stack. Every
+// Server owns its own mux, so any number of Servers (e.g. one per
+// tenant fleet, or parallel tests) coexist in one process without
+// pattern collisions.
 package serve
 
 import (
@@ -41,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/tenant"
 	"repro/versioning"
 )
 
@@ -66,19 +77,45 @@ type Options struct {
 	CheckoutTimeout time.Duration
 }
 
-// Server is the HTTP serving layer over one Repository. Create with
-// New; it implements http.Handler.
+// repoState is the serving hot state for one open repository: in
+// single-repository mode the Server has exactly one, in multi-tenant
+// mode one per currently-cached tenant incarnation (keyed by the
+// manager's open generation, so state can never leak across an
+// eviction + reopen).
+type repoState struct {
+	name string // tenant namespace ("" in single-repo mode)
+	gen  uint64 // tenant.Handle.Gen (0 in single-repo mode)
+	repo *versioning.Repository
+
+	// flights deduplicates concurrent GET /checkout/{id} for the same id.
+	flightMu sync.Mutex
+	flights  map[versioning.NodeID]*flight
+}
+
+func newRepoState(name string, gen uint64, repo *versioning.Repository) *repoState {
+	return &repoState{name: name, gen: gen, repo: repo,
+		flights: make(map[versioning.NodeID]*flight)}
+}
+
+// Server is the HTTP serving layer over one Repository (New) or a
+// tenant fleet (NewMulti); it implements http.Handler. Each instance
+// owns its mux and all per-endpoint state, so multiple Servers coexist
+// freely in one process.
 type Server struct {
-	repo            *versioning.Repository
 	mux             *http.ServeMux
 	adm             *limiter
 	start           time.Time
 	checkoutTimeout time.Duration
+	coalesced       atomic.Int64 // follower requests served by a shared flight
 
-	// flights deduplicates concurrent GET /checkout/{id} for the same id.
-	flightMu  sync.Mutex
-	flights   map[versioning.NodeID]*flight
-	coalesced atomic.Int64 // follower requests served by a shared flight
+	def *repoState      // single-repo mode (nil in multi mode)
+	mgr *tenant.Manager // multi-tenant mode (nil in single mode)
+
+	// tenants caches per-tenant serving state in multi mode. Entries are
+	// replaced when the tenant's generation changes and dropped by the
+	// manager's eviction callback.
+	tenMu   sync.Mutex
+	tenants map[string]*repoState
 
 	epMu      sync.Mutex
 	endpoints map[string]*endpointMetrics
@@ -86,24 +123,14 @@ type Server struct {
 
 // New returns a Server wired to repo with the given hardening options.
 func New(repo *versioning.Repository, opt Options) *Server {
-	if opt.CheckoutTimeout <= 0 {
-		opt.CheckoutTimeout = 30 * time.Second
-	}
-	s := &Server{
-		repo:            repo,
-		mux:             http.NewServeMux(),
-		adm:             newLimiter(opt),
-		start:           time.Now(),
-		checkoutTimeout: opt.CheckoutTimeout,
-		flights:         make(map[versioning.NodeID]*flight),
-		endpoints:       make(map[string]*endpointMetrics),
-	}
-	s.handle("commit", "POST /commit", s.handleCommit, true)
-	s.handle("checkout", "GET /checkout/{id}", s.handleCheckout, true)
-	s.handle("checkout_batch", "POST /checkout", s.handleCheckoutBatch, true)
-	s.handle("replan", "POST /replan", s.handleReplan, true)
-	s.handle("plan", "GET /plan", s.handlePlan, true)
-	s.handle("stats", "GET /stats", s.handleStats, true)
+	s := newServer(opt)
+	s.def = newRepoState("", 0, repo)
+	s.handleRepo("commit", "POST /commit", s.handleCommit)
+	s.handleRepo("checkout", "GET /checkout/{id}", s.handleCheckout)
+	s.handleRepo("checkout_batch", "POST /checkout", s.handleCheckoutBatch)
+	s.handleRepo("replan", "POST /replan", s.handleReplan)
+	s.handleRepo("plan", "GET /plan", s.handlePlan)
+	s.handleRepo("stats", "GET /stats", s.handleStats)
 	// Probes bypass admission control: an overloaded server must still
 	// answer its orchestrator and expose its own counters.
 	s.handle("statsz", "GET /statsz", s.handleStatsz, false)
@@ -111,7 +138,44 @@ func New(repo *versioning.Repository, opt Options) *Server {
 	return s
 }
 
+// newServer builds the mode-independent core.
+func newServer(opt Options) *Server {
+	if opt.CheckoutTimeout <= 0 {
+		opt.CheckoutTimeout = 30 * time.Second
+	}
+	return &Server{
+		mux:             http.NewServeMux(),
+		adm:             newLimiter(opt),
+		start:           time.Now(),
+		checkoutTimeout: opt.CheckoutTimeout,
+		tenants:         make(map[string]*repoState),
+		endpoints:       make(map[string]*endpointMetrics),
+	}
+}
+
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drops all cached per-tenant serving state (single-repo state
+// included). In-progress flights complete for their own waiters, but no
+// later request can join them. It does not close repositories — the
+// Manager (or the caller, in single-repo mode) owns those lifecycles.
+func (s *Server) Close() {
+	s.tenMu.Lock()
+	s.tenants = make(map[string]*repoState)
+	s.tenMu.Unlock()
+	if s.def != nil {
+		s.def.flightMu.Lock()
+		s.def.flights = make(map[versioning.NodeID]*flight)
+		s.def.flightMu.Unlock()
+	}
+}
+
+// handleRepo registers a single-repo-mode endpoint bound to s.def.
+func (s *Server) handleRepo(name, pattern string, h func(*repoState, http.ResponseWriter, *http.Request)) {
+	s.handle(name, pattern, func(w http.ResponseWriter, r *http.Request) {
+		h(s.def, w, r)
+	}, true)
+}
 
 // handle registers pattern with per-endpoint instrumentation and, when
 // limited, admission control.
@@ -164,9 +228,16 @@ func (w *statusWriter) WriteHeader(status int) {
 // handleHealthz is the liveness/readiness probe: cheap (one RLock plus
 // atomic counters), so orchestrators can poll it even mid-re-plan.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.mgr != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":       "ok",
+			"tenants_open": s.mgr.OpenCount(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"versions": s.repo.Versions(),
+		"versions": s.def.repo.Versions(),
 	})
 }
 
@@ -200,17 +271,31 @@ type errorResponse struct {
 // memory before JSON decoding even starts.
 const maxBodyBytes = 64 << 20
 
-func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCommit(st *repoState, w http.ResponseWriter, r *http.Request) {
 	var req commitRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad commit request: %v", err)})
 		return
 	}
+	if s.mgr != nil {
+		// Per-tenant quota gate: the rate bucket and capacity caps are
+		// checked before any diff or store work runs.
+		if err := s.mgr.CheckCommit(st.name, st.repo); err != nil {
+			var qe *tenant.QuotaError
+			if errors.As(err, &qe) {
+				w.Header().Set("Retry-After", retryAfterSeconds(qe.RetryAfter))
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: qe.Error()})
+				return
+			}
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+	}
 	parent := versioning.NoParent
 	if req.Parent != nil {
 		parent = *req.Parent
 	}
-	id, err := s.repo.Commit(r.Context(), parent, req.Lines)
+	id, err := st.repo.Commit(r.Context(), parent, req.Lines)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, versioning.ErrClosed) {
@@ -221,7 +306,17 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, commitResponse{ID: id, Versions: s.repo.Versions()})
+	writeJSON(w, http.StatusOK, commitResponse{ID: id, Versions: st.repo.Versions()})
+}
+
+// retryAfterSeconds renders d as a whole-seconds Retry-After value
+// (rounded up, minimum 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // flight is one in-progress shared checkout.
@@ -232,18 +327,19 @@ type flight struct {
 }
 
 // checkoutShared reconstructs version id, deduplicating concurrent
-// requests for the same id into one repo hit. The store performs its
-// own singleflight below its LRU; this handler-level flight addition-
-// ally spares the repo/cache path for piggybacked requests and is
-// where the serving layer counts coalescing for /statsz. The leader
-// runs detached from its request's cancellation (followers must not
-// inherit the leader's deadline, and a canceled leader must not poison
-// the shared result) but under the server's checkout deadline, so a
-// hung backend fails the flight instead of pinning it forever.
-func (s *Server) checkoutShared(ctx context.Context, id versioning.NodeID) ([]string, error) {
-	s.flightMu.Lock()
-	if f, ok := s.flights[id]; ok {
-		s.flightMu.Unlock()
+// requests for the same id of the same repository incarnation into one
+// repo hit. The store performs its own singleflight below its LRU;
+// this handler-level flight additionally spares the repo/cache path for
+// piggybacked requests and is where the serving layer counts coalescing
+// for /statsz. The leader runs detached from its request's cancellation
+// (followers must not inherit the leader's deadline, and a canceled
+// leader must not poison the shared result) but under the server's
+// checkout deadline, so a hung backend fails the flight instead of
+// pinning it forever.
+func (s *Server) checkoutShared(st *repoState, ctx context.Context, id versioning.NodeID) ([]string, error) {
+	st.flightMu.Lock()
+	if f, ok := st.flights[id]; ok {
+		st.flightMu.Unlock()
 		s.coalesced.Add(1)
 		select {
 		case <-f.done:
@@ -253,25 +349,30 @@ func (s *Server) checkoutShared(ctx context.Context, id versioning.NodeID) ([]st
 		}
 	}
 	f := &flight{done: make(chan struct{})}
-	s.flights[id] = f
-	s.flightMu.Unlock()
+	st.flights[id] = f
+	st.flightMu.Unlock()
 	fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.checkoutTimeout)
-	f.lines, f.err = s.repo.Checkout(fctx, id)
+	f.lines, f.err = st.repo.Checkout(fctx, id)
 	cancel()
-	s.flightMu.Lock()
-	delete(s.flights, id)
-	s.flightMu.Unlock()
+	st.flightMu.Lock()
+	// Guarded delete: Server.Close may have swapped the flight map while
+	// we ran, and a successor flight for the same id must not be evicted
+	// by its predecessor's cleanup.
+	if st.flights[id] == f {
+		delete(st.flights, id)
+	}
+	st.flightMu.Unlock()
 	close(f.done)
 	return f.lines, f.err
 }
 
-func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCheckout(st *repoState, w http.ResponseWriter, r *http.Request) {
 	id64, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad version id: %v", err)})
 		return
 	}
-	lines, err := s.checkoutShared(r.Context(), versioning.NodeID(id64))
+	lines, err := s.checkoutShared(st, r.Context(), versioning.NodeID(id64))
 	if err != nil {
 		status := checkoutErrStatus(err)
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
@@ -287,13 +388,13 @@ type checkoutBatchRequest struct {
 	IDs []versioning.NodeID `json:"ids"`
 }
 
-func (s *Server) handleCheckoutBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCheckoutBatch(st *repoState, w http.ResponseWriter, r *http.Request) {
 	var req checkoutBatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad batch request: %v", err)})
 		return
 	}
-	results := s.repo.CheckoutBatch(r.Context(), req.IDs)
+	results := st.repo.CheckoutBatch(r.Context(), req.IDs)
 	out := make([]checkoutResponse, len(results))
 	for i, res := range results {
 		out[i] = checkoutResponse{ID: req.IDs[i], Lines: res.Lines}
@@ -315,8 +416,8 @@ func checkoutErrStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
-	if err := s.repo.Replan(r.Context()); err != nil {
+func (s *Server) handleReplan(st *repoState, w http.ResponseWriter, r *http.Request) {
+	if err := st.repo.Replan(r.Context()); err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, versioning.ErrClosed) {
 			status = http.StatusServiceUnavailable
@@ -324,15 +425,15 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.repo.Summary())
+	writeJSON(w, http.StatusOK, st.repo.Summary())
 }
 
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.repo.Summary())
+func (s *Server) handlePlan(st *repoState, w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, st.repo.Summary())
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.repo.Stats())
+func (s *Server) handleStats(st *repoState, w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, st.repo.Stats())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

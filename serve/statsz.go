@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/tenant"
 	"repro/versioning"
 )
 
@@ -27,7 +28,8 @@ type EndpointStats struct {
 }
 
 // Statsz is the /statsz response: the server-side observability surface
-// the client, dsvload, and the CI load-smoke job read.
+// the client, dsvload, and the CI load-smoke job read. Repo is
+// populated in single-repository mode, Fleet in multi-tenant mode.
 type Statsz struct {
 	UptimeSeconds float64                    `json:"uptime_seconds"`
 	Goroutines    int                        `json:"goroutines"`
@@ -35,6 +37,7 @@ type Statsz struct {
 	Admission     AdmissionStats             `json:"admission"`
 	Endpoints     map[string]EndpointStats   `json:"endpoints"`
 	Repo          versioning.RepositoryStats `json:"repo"`
+	Fleet         *tenant.FleetStats         `json:"fleet,omitempty"`
 }
 
 // StatszSnapshot assembles the full serving snapshot (also available to
@@ -46,7 +49,12 @@ func (s *Server) StatszSnapshot() Statsz {
 		GoVersion:     runtime.Version(),
 		Admission:     s.adm.stats(),
 		Endpoints:     make(map[string]EndpointStats),
-		Repo:          s.repo.Stats(),
+	}
+	if s.mgr != nil {
+		fleet := s.mgr.Fleet(5)
+		out.Fleet = &fleet
+	} else {
+		out.Repo = s.def.repo.Stats()
 	}
 	s.epMu.Lock()
 	names := make([]string, 0, len(s.endpoints))

@@ -1,0 +1,49 @@
+package tenant
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzTenantName holds the namespace-safety invariant behind the
+// multi-tenant filesystem layout: any name ValidateName accepts must
+// map to a plain child path of the tenants root — no traversal, no
+// separator smuggling, no aliasing of special directory entries. A name
+// it rejects must never be opened, so the property only needs to hold
+// for accepted names.
+func FuzzTenantName(f *testing.F) {
+	for _, seed := range []string{
+		"alice", "a", "team-7.staging", "t000",
+		"", ".", "..", "../../etc/passwd", "a/b", `a\b`,
+		".hidden", "-flag", "a b", "a\x00b", "über",
+		strings.Repeat("x", MaxNameLen), strings.Repeat("x", MaxNameLen+1),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		if err := ValidateName(name); err != nil {
+			return // rejected names never reach the filesystem
+		}
+		if name == "" || len(name) > MaxNameLen {
+			t.Fatalf("accepted name with bad length: %q", name)
+		}
+		if strings.ContainsAny(name, "/\\") {
+			t.Fatalf("accepted name with path separator: %q", name)
+		}
+		if name == "." || name == ".." || name[0] == '.' {
+			t.Fatalf("accepted special/hidden name: %q", name)
+		}
+		const root = "/srv/tenants"
+		joined := filepath.Join(root, name)
+		if filepath.Dir(joined) != root {
+			t.Fatalf("name %q escapes the root: %q", name, joined)
+		}
+		if filepath.Base(joined) != name {
+			t.Fatalf("name %q is not its own basename after join: %q", name, joined)
+		}
+		if filepath.Clean(joined) != joined {
+			t.Fatalf("join of %q is not clean: %q", name, joined)
+		}
+	})
+}
