@@ -27,6 +27,9 @@ func liveServer(t *testing.T, n int) (*httptest.Server, *repogen.Repo, *requestC
 		ReplanEvery:   4,
 		EngineOptions: versioning.EngineOptions{SolverTimeout: 10 * time.Second, DisableILP: true},
 	})
+	// Registered before ts so it runs after ts.Close: the repository owns
+	// a background maintenance worker that must drain or leakCheck trips.
+	t.Cleanup(func() { repo.Close() })
 	src := repogen.GenerateRepo("client-src", n, 11)
 	for v := 0; v < src.Graph.N(); v++ {
 		if _, err := repo.Commit(context.Background(), src.Parents[v], src.Contents[v]); err != nil {

@@ -1,13 +1,25 @@
-// Command benchgate is the CI bench-regression gate: it compares two
-// `go test -bench` outputs (merge-base vs PR head) and exits nonzero
-// when the geometric-mean slowdown across the shared benchmarks
-// exceeds -threshold. benchstat prints the human-readable table in the
-// same job; benchgate owns the pass/fail decision.
+// Command benchgate is the CI bench-regression gate. It has two modes,
+// both exiting nonzero on regression:
+//
+// Microbenchmarks (-base/-head): compares two `go test -bench` outputs
+// (merge-base vs PR head) and fails when the geometric-mean slowdown
+// across the shared benchmarks exceeds -threshold. benchstat prints the
+// human-readable table in the same job; benchgate owns the pass/fail
+// decision.
 //
 //	go test -run='^$' -bench=Checkout -count=4 . > head.txt
 //	git checkout $(git merge-base origin/main HEAD)
 //	go test -run='^$' -bench=Checkout -count=4 . > base.txt
 //	benchgate -base base.txt -head head.txt -threshold 1.25
+//
+// Load reports (-load-base/-load-head): compares two dsvload JSON
+// reports (the committed BENCH_load_multi.json baseline vs a fresh run)
+// and fails when any mix's commit p99 latency regresses past
+// -threshold, or when the head run recorded errors. This pins the
+// commit path end to end — journaling, group commit, and plan
+// maintenance included — not just isolated functions.
+//
+//	benchgate -load-base BENCH_load_multi.json -load-head /tmp/head.json -threshold 1.25
 package main
 
 import (
@@ -16,16 +28,30 @@ import (
 	"os"
 
 	"repro/internal/benchparse"
+	"repro/internal/loadreport"
 )
 
 func main() {
 	var (
 		basePath  = flag.String("base", "", "bench output of the merge base")
 		headPath  = flag.String("head", "", "bench output of the PR head")
-		threshold = flag.Float64("threshold", 1.25, "max allowed geomean slowdown (head/base)")
+		loadBase  = flag.String("load-base", "", "baseline dsvload JSON report (e.g. the committed BENCH_load_multi.json)")
+		loadHead  = flag.String("load-head", "", "fresh dsvload JSON report to gate")
+		threshold = flag.Float64("threshold", 1.25, "max allowed slowdown (head/base): bench geomean, or per-mix commit p99 in load mode")
 	)
 	flag.Parse()
-	if err := run(*basePath, *headPath, *threshold); err != nil {
+	var err error
+	switch {
+	case *loadBase != "" || *loadHead != "":
+		if *basePath != "" || *headPath != "" {
+			err = fmt.Errorf("-base/-head and -load-base/-load-head are separate modes; pick one")
+		} else {
+			err = runLoad(*loadBase, *loadHead, *threshold)
+		}
+	default:
+		err = run(*basePath, *headPath, *threshold)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
@@ -64,6 +90,73 @@ func run(basePath, headPath string, threshold float64) error {
 	if geomean > threshold {
 		return fmt.Errorf("geomean regression %.1f%% exceeds %.1f%%",
 			100*(geomean-1), 100*(threshold-1))
+	}
+	return nil
+}
+
+// runLoad gates head's per-mix commit p99 against base's. Other ops are
+// printed for context but only commit latency decides pass/fail: it is
+// the journaled, fsynced, maintenance-adjacent path this repository
+// optimizes, and checkout p99 under open-loop load is too noisy to gate
+// on without flaking CI.
+func runLoad(basePath, headPath string, threshold float64) error {
+	if basePath == "" || headPath == "" {
+		return fmt.Errorf("both -load-base and -load-head are required")
+	}
+	base, err := loadreport.Load(basePath)
+	if err != nil {
+		return err
+	}
+	head, err := loadreport.Load(headPath)
+	if err != nil {
+		return err
+	}
+	baseMixes := map[string]loadreport.MixReport{}
+	for _, m := range base.Mixes {
+		baseMixes[m.Mix] = m
+	}
+	var failures []string
+	compared := 0
+	for _, hm := range head.Mixes {
+		if hm.Errors > 0 {
+			failures = append(failures, fmt.Sprintf("mix %s: head run recorded %d errors", hm.Mix, hm.Errors))
+		}
+		bm, ok := baseMixes[hm.Mix]
+		if !ok {
+			fmt.Printf("mix %-10s not in baseline, skipped\n", hm.Mix)
+			continue
+		}
+		for _, op := range []string{"commit", "checkout"} {
+			bo, bok := bm.PerOp[op]
+			ho, hok := hm.PerOp[op]
+			if !bok || !hok || bo.Latency.P99US <= 0 {
+				continue
+			}
+			ratio := ho.Latency.P99US / bo.Latency.P99US
+			gated := op == "commit"
+			mark := " (info)"
+			if gated {
+				mark = ""
+				compared++
+			}
+			fmt.Printf("mix %-10s %-8s p99 %12.0f -> %12.0f us  %+.1f%%%s\n",
+				hm.Mix, op, bo.Latency.P99US, ho.Latency.P99US, 100*(ratio-1), mark)
+			if gated && ratio > threshold {
+				failures = append(failures, fmt.Sprintf(
+					"mix %s: commit p99 %.0fus -> %.0fus (%+.1f%%) exceeds %+.1f%%",
+					hm.Mix, bo.Latency.P99US, ho.Latency.P99US, 100*(ratio-1), 100*(threshold-1)))
+			}
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no commit p99 shared between %s and %s — nothing gated", basePath, headPath)
+	}
+	fmt.Printf("gated commit p99 across %d mixes (threshold %+.1f%%)\n", compared, 100*(threshold-1))
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		return fmt.Errorf("%d load regression(s)", len(failures))
 	}
 	return nil
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loadreport"
+	"repro/internal/metrics"
+)
+
+func writeReport(t *testing.T, name string, commitP99, checkoutP99 float64, errs int64) string {
+	t.Helper()
+	rep := loadreport.Report{
+		Addr: "test",
+		Mixes: []loadreport.MixReport{{
+			Mix:    "mixed",
+			Ops:    1000,
+			Errors: errs,
+			PerOp: map[string]loadreport.OpReport{
+				"commit":   {Ops: 300, Latency: metrics.LatencySummary{Count: 300, P99US: commitP99}},
+				"checkout": {Ops: 700, Latency: metrics.LatencySummary{Count: 700, P99US: checkoutP99}},
+			},
+		}},
+	}
+	path := filepath.Join(t.TempDir(), name)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadGatePasses(t *testing.T) {
+	base := writeReport(t, "base.json", 100_000, 5_000, 0)
+	head := writeReport(t, "head.json", 110_000, 20_000, 0) // commit +10%, checkout noise ignored
+	if err := runLoad(base, head, 1.25); err != nil {
+		t.Fatalf("within-threshold head failed the gate: %v", err)
+	}
+	// A dramatic improvement obviously passes too.
+	better := writeReport(t, "better.json", 30_000, 5_000, 0)
+	if err := runLoad(base, better, 1.25); err != nil {
+		t.Fatalf("improved head failed the gate: %v", err)
+	}
+}
+
+func TestLoadGateFailsOnCommitRegression(t *testing.T) {
+	base := writeReport(t, "base.json", 100_000, 5_000, 0)
+	head := writeReport(t, "head.json", 140_000, 5_000, 0) // commit +40%
+	err := runLoad(base, head, 1.25)
+	if err == nil {
+		t.Fatal("40%% commit p99 regression passed a 25%% gate")
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+}
+
+func TestLoadGateFailsOnErrors(t *testing.T) {
+	base := writeReport(t, "base.json", 100_000, 5_000, 0)
+	head := writeReport(t, "head.json", 100_000, 5_000, 3)
+	if err := runLoad(base, head, 1.25); err == nil {
+		t.Fatal("head run with errors passed the gate")
+	}
+}
+
+func TestLoadGateRefusesEmptyComparison(t *testing.T) {
+	base := writeReport(t, "base.json", 0, 0, 0) // zero p99s: nothing comparable
+	head := writeReport(t, "head.json", 100_000, 5_000, 0)
+	if err := runLoad(base, head, 1.25); err == nil {
+		t.Fatal("gate with no comparable commit p99 reported success")
+	}
+	if err := runLoad("", "", 1.25); err == nil {
+		t.Fatal("gate with no inputs reported success")
+	}
+}

@@ -32,7 +32,12 @@
 // backend (-shards shards); with -data-dir (or -multi -tenants-dir) the
 // daemon runs on durable disk backends plus write-ahead commit
 // journals, and a restart replays the journals so the full committed
-// history survives a kill. SIGINT and SIGTERM trigger a graceful
+// history survives a kill. Concurrent commits share journal writes
+// (-group-commit, on by default): one leader writes — and with -fsync,
+// fsyncs — the whole batch, and each commit is acknowledged only after
+// its batch is durable. Plan maintenance (the -replan-every re-solve
+// and store migration) runs in background workers (-maintenance) so it
+// never sits on the commit path. SIGINT and SIGTERM trigger a graceful
 // shutdown: in-flight requests drain, then every open repository's
 // journal and backend are flushed, all within the -drain deadline.
 //
@@ -84,6 +89,9 @@ func run() error {
 		shards      = flag.Int("shards", 0, "in-memory backend shards (0 = default; ignored with -data-dir)")
 		dataDir     = flag.String("data-dir", "", "durable storage root (objects + commit journal); empty serves from memory")
 		fsync       = flag.Bool("fsync", false, "fsync the commit journal on every commit (with -data-dir)")
+		groupCommit = flag.Bool("group-commit", true, "batch concurrent commits into one journal write/fsync (with -data-dir or -tenants-dir)")
+		linger      = flag.Duration("group-commit-linger", 0, "how long a batch leader waits for more commits to join (0 = 200µs with -fsync, none otherwise; negative disables)")
+		maintenance = flag.Int("maintenance", 0, "background plan-maintenance workers per repository (0 = 1; negative re-plans synchronously inside commits)")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-solver deadline inside re-planning races")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests and storage flush")
 		maxInFlight = flag.Int("max-inflight", 0, "admission control: max concurrently executing requests (0 = 4*GOMAXPROCS, negative disables)")
@@ -108,14 +116,17 @@ func run() error {
 		return err
 	}
 	ropt := versioning.RepositoryOptions{
-		Problem:      problem,
-		Constraint:   *constraint,
-		AutoFactor:   *autoFactor,
-		ReplanEvery:  *replanEvery,
-		CacheEntries: *cache,
-		Workers:      *workers,
-		Shards:       *shards,
-		SyncWrites:   *fsync,
+		Problem:            problem,
+		Constraint:         *constraint,
+		AutoFactor:         *autoFactor,
+		ReplanEvery:        *replanEvery,
+		CacheEntries:       *cache,
+		Workers:            *workers,
+		Shards:             *shards,
+		SyncWrites:         *fsync,
+		GroupCommit:        *groupCommit,
+		GroupCommitLinger:  *linger,
+		MaintenanceWorkers: *maintenance,
 		EngineOptions: versioning.EngineOptions{
 			SolverTimeout: *timeout,
 			DisableILP:    !*ilp,

@@ -1,51 +1,12 @@
 package main
 
-import "repro/internal/metrics"
+import "repro/internal/loadreport"
 
-// Report is the machine-readable load-test result written to
-// BENCH_load.json. The CI bench artifacts and the README's worked
-// example both follow this shape; keep changes backward-compatible
-// (add fields, don't rename).
-type Report struct {
-	GeneratedAt string `json:"generated_at"`
-	Addr        string `json:"addr"`
-	Seed        int64  `json:"seed"`
-	Dist        string `json:"dist"`
-	Concurrency int    `json:"concurrency"`
-	// Tenants > 0 means the load was spread across that many tenant
-	// namespaces of a dsvd -multi daemon under TenantDist popularity.
-	Tenants    int    `json:"tenants,omitempty"`
-	TenantDist string `json:"tenant_dist,omitempty"`
-	// Coalescing reports whether client-side batch coalescing was on
-	// (-coalesce >= 0). Off by default so latencies measure the server,
-	// not the client's batching window.
-	Coalescing       bool        `json:"coalescing"`
-	CoalesceWindowMS float64     `json:"coalesce_window_ms,omitempty"`
-	Mixes            []MixReport `json:"mixes"`
-}
-
-// MixReport summarizes one workload mix.
-type MixReport struct {
-	Mix             string  `json:"mix"`
-	Dist            string  `json:"dist"`
-	CommitRatio     float64 `json:"commit_ratio"`
-	OpenLoopRPS     float64 `json:"open_loop_rps"` // 0 = closed loop
-	DurationSeconds float64 `json:"duration_seconds"`
-
-	Ops       int64 `json:"ops"`
-	Checkouts int64 `json:"checkouts"`
-	Commits   int64 `json:"commits"`
-	Errors    int64 `json:"errors"`
-	Throttled int64 `json:"throttled"` // 429-shed responses (admission control working)
-	Dropped   int64 `json:"dropped"`   // open-loop arrivals beyond the backlog
-
-	ThroughputOpsPerSec float64                `json:"throughput_ops_per_sec"`
-	Latency             metrics.LatencySummary `json:"latency_us"`
-	PerOp               map[string]OpReport    `json:"per_op"`
-}
-
-// OpReport is one operation type's share of a mix.
-type OpReport struct {
-	Ops     int64                  `json:"ops"`
-	Latency metrics.LatencySummary `json:"latency_us"`
-}
+// The report schema lives in internal/loadreport so cmd/benchgate's
+// load-regression gate consumes the exact types this generator writes;
+// the aliases keep the rest of this package reading naturally.
+type (
+	Report    = loadreport.Report
+	MixReport = loadreport.MixReport
+	OpReport  = loadreport.OpReport
+)

@@ -1,0 +1,72 @@
+// Package loadreport defines the machine-readable load-test report
+// written by cmd/dsvload (BENCH_load*.json) and consumed by
+// cmd/benchgate's load-regression gate. It lives in internal/ so the
+// producer and the gate share one schema; keep changes
+// backward-compatible (add fields, don't rename).
+package loadreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+// Report is one full dsvload run.
+type Report struct {
+	GeneratedAt string `json:"generated_at"`
+	Addr        string `json:"addr"`
+	Seed        int64  `json:"seed"`
+	Dist        string `json:"dist"`
+	Concurrency int    `json:"concurrency"`
+	// Tenants > 0 means the load was spread across that many tenant
+	// namespaces of a dsvd -multi daemon under TenantDist popularity.
+	Tenants    int    `json:"tenants,omitempty"`
+	TenantDist string `json:"tenant_dist,omitempty"`
+	// Coalescing reports whether client-side batch coalescing was on
+	// (-coalesce >= 0). Off by default so latencies measure the server,
+	// not the client's batching window.
+	Coalescing       bool        `json:"coalescing"`
+	CoalesceWindowMS float64     `json:"coalesce_window_ms,omitempty"`
+	Mixes            []MixReport `json:"mixes"`
+}
+
+// MixReport summarizes one workload mix.
+type MixReport struct {
+	Mix             string  `json:"mix"`
+	Dist            string  `json:"dist"`
+	CommitRatio     float64 `json:"commit_ratio"`
+	OpenLoopRPS     float64 `json:"open_loop_rps"` // 0 = closed loop
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	Ops       int64 `json:"ops"`
+	Checkouts int64 `json:"checkouts"`
+	Commits   int64 `json:"commits"`
+	Errors    int64 `json:"errors"`
+	Throttled int64 `json:"throttled"` // 429-shed responses (admission control working)
+	Dropped   int64 `json:"dropped"`   // open-loop arrivals beyond the backlog
+
+	ThroughputOpsPerSec float64                `json:"throughput_ops_per_sec"`
+	Latency             metrics.LatencySummary `json:"latency_us"`
+	PerOp               map[string]OpReport    `json:"per_op"`
+}
+
+// OpReport is one operation type's share of a mix.
+type OpReport struct {
+	Ops     int64                  `json:"ops"`
+	Latency metrics.LatencySummary `json:"latency_us"`
+}
+
+// Load reads and decodes a report file.
+func Load(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("decoding load report %s: %w", path, err)
+	}
+	return r, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/diff"
 	"repro/internal/graph"
@@ -52,10 +53,12 @@ type Store struct {
 	flightMu sync.Mutex
 	flight   map[graph.NodeID]*flightCall
 
-	checkouts    atomic.Int64
-	cacheHits    atomic.Int64
-	deltaApplies atomic.Int64
-	planRetries  atomic.Int64
+	checkouts     atomic.Int64
+	cacheHits     atomic.Int64
+	deltaApplies  atomic.Int64
+	planRetries   atomic.Int64
+	installs      atomic.Int64
+	installMicros atomic.Int64
 }
 
 // Stats summarizes a Store.
@@ -70,6 +73,8 @@ type Stats struct {
 	CacheHits      int64 // checkouts answered from the LRU
 	DeltaApplies   int64 // edit scripts applied during reconstructions
 	PlanRetries    int64 // checkouts re-snapshotted after racing a migration
+	Installs       int64 // successful plan migrations
+	InstallMicros  int64 // cumulative wall time spent inside Install
 }
 
 // New returns an empty Store.
@@ -109,6 +114,8 @@ func (s *Store) Stats() Stats {
 		CacheHits:      s.cacheHits.Load(),
 		DeltaApplies:   s.deltaApplies.Load(),
 		PlanRetries:    s.planRetries.Load(),
+		Installs:       s.installs.Load(),
+		InstallMicros:  s.installMicros.Load(),
 	}
 }
 
@@ -180,6 +187,7 @@ func getBlobObject(get func(Key) ([]byte, error), k Key) ([]string, error) {
 // refuses to install an infeasible plan, leaving the previous state
 // serving.
 func (s *Store) Install(g *graph.Graph, p *plan.Plan, content ContentFunc) error {
+	installStart := time.Now()
 	if len(p.Materialized) != g.N() || len(p.Stored) != g.M() {
 		return fmt.Errorf("store: plan shape (%d, %d) does not match graph (%d, %d)",
 			len(p.Materialized), len(p.Stored), g.N(), g.M())
@@ -295,6 +303,8 @@ func (s *Store) Install(g *graph.Graph, p *plan.Plan, content ContentFunc) error
 			_ = s.backend.Delete(k)
 		}
 	}
+	s.installs.Add(1)
+	s.installMicros.Add(time.Since(installStart).Microseconds())
 	return nil
 }
 

@@ -60,7 +60,9 @@ func getJSON(t *testing.T, url string, out any) int {
 }
 
 func TestServerCommitCheckoutRoundTrip(t *testing.T) {
-	ts := testServer(t, versioning.RepositoryOptions{ReplanEvery: 4})
+	// Synchronous maintenance so the Replans assertion below is
+	// deterministic (async workers may not have finished by /stats time).
+	ts := testServer(t, versioning.RepositoryOptions{ReplanEvery: 4, MaintenanceWorkers: -1})
 	src := repogen.GenerateRepo("http", 20, 3)
 	for v := 0; v < src.Graph.N(); v++ {
 		var cr commitResponse

@@ -534,3 +534,84 @@ func TestRateEWMA(t *testing.T) {
 		t.Fatalf("rate did not decay: %g -> %g", at, later)
 	}
 }
+
+// TestManagerEvictionDuringMaintenance churns a durable fleet whose
+// repositories run asynchronous plan maintenance (ReplanEvery small, a
+// background worker per repo) while the LRU evicts tenants out from
+// under in-flight passes. Eviction calls Repository.Close, which must
+// drain the maintenance worker before flushing — so there must be no
+// close errors, and every tenant's full history must survive the
+// evict/reopen cycles. Run with -race.
+func TestManagerEvictionDuringMaintenance(t *testing.T) {
+	const tenants = 6
+	opt := testOptions(t.TempDir())
+	opt.MaxOpen = 2 // aggressive eviction: most acquires reopen + evict
+	opt.Repo.ReplanEvery = 2
+	opt.Repo.GroupCommit = true
+	m := NewManager(opt)
+	defer m.Close()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	var commits [tenants]atomic.Int64
+	errCh := make(chan error, 16)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 25; i++ {
+				ti := rng.Intn(tenants)
+				name := fmt.Sprintf("m%d", ti)
+				h, err := m.Acquire(ctx, name)
+				if err != nil {
+					errCh <- fmt.Errorf("acquire %s: %w", name, err)
+					return
+				}
+				// Roots only: parent ids are trivially valid however many
+				// commits raced in before this handle. Every pair of commits
+				// trips ReplanEvery, so maintenance passes overlap the
+				// Release below — and the eviction it can trigger.
+				if _, err := h.Repo().Commit(ctx, versioning.NoParent, lines(fmt.Sprintf("%s w%d i%d", name, w, i))); err != nil {
+					h.Release()
+					errCh <- fmt.Errorf("commit to %s: %w", name, err)
+					return
+				}
+				commits[ti].Add(1)
+				h.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	fs := m.Fleet(tenants)
+	if fs.Evictions == 0 {
+		t.Fatal("churn with MaxOpen 2 over 6 tenants never evicted: the test exercised nothing")
+	}
+	if fs.CloseErrors != 0 {
+		t.Fatalf("%d eviction flushes failed mid-maintenance: %+v", fs.CloseErrors, fs.TopByObjects)
+	}
+	// Every tenant reopens with its exact committed history.
+	for i := 0; i < tenants; i++ {
+		name := fmt.Sprintf("m%d", i)
+		h, err := m.Acquire(ctx, name)
+		if err != nil {
+			t.Fatalf("final acquire %s: %v", name, err)
+		}
+		want := int(commits[i].Load())
+		if got := h.Repo().Versions(); got != want {
+			t.Errorf("%s: %d versions after eviction churn, want %d", name, got, want)
+		}
+		for v := 0; v < want; v++ {
+			if _, err := h.Repo().Checkout(ctx, versioning.NodeID(v)); err != nil {
+				t.Errorf("%s: Checkout(%d) after eviction churn: %v", name, v, err)
+				break
+			}
+		}
+		h.Release()
+	}
+}

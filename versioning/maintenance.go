@@ -1,0 +1,309 @@
+package versioning
+
+// Background plan maintenance. The ReplanEvery re-solve and store
+// migration used to run inside Commit under commitMu, which put a full
+// portfolio solver race on the commit critical path every k commits —
+// the dominant source of commit tail latency under load. Now Commit
+// only bumps sinceReplan and pokes a trigger; a per-repository worker
+// (started in NewRepository, drained in Close) runs the pass:
+//
+//  1. snapshot — clone the version graph under the state read lock, so
+//     the solver sees a frozen problem while commits keep appending to
+//     the live graph;
+//  2. solve — race the portfolio against the snapshot with no
+//     repository locks held;
+//  3. precompute — reconstruct every content the migration will need
+//     (materialized versions and stored-delta endpoints) through the
+//     normal concurrent checkout path;
+//  4. install — under commitMu, graft the incremental entries of the
+//     versions committed during the solve onto the solved plan, migrate
+//     the store, and publish the new serving state under a brief
+//     stateMu write lock.
+//
+// Only step 4 excludes commits, and it is pure object I/O over
+// precomputed contents. Triggers coalesce (a pass already underway
+// absorbs later requests), a failed pass leaves the previous plan
+// serving and surfaces through Stats().ReplanError, and — because
+// failure does not reset sinceReplan — the next commit re-triggers a
+// retry instead of waiting out another ReplanEvery window.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// startMaintenance resolves the worker count and starts the background
+// loop(s); called once from NewRepository before the repository is
+// shared.
+func (r *Repository) startMaintenance() {
+	workers := r.opt.MaintenanceWorkers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 0 {
+		workers = 0 // synchronous: maybeReplan runs the pass inline
+	}
+	r.maintWorkers = workers
+	r.maintStop = make(chan struct{})
+	r.maintTrigger = make(chan struct{}, 1)
+	r.maintCtx, r.maintCancel = context.WithCancel(context.Background())
+	r.maintCond = sync.NewCond(&r.maintMu)
+	r.maintWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.maintenanceLoop()
+	}
+}
+
+// maybeReplan runs after every successful commit, with no locks held:
+// if the repository is due for a re-plan it either schedules one on the
+// background workers or (MaintenanceWorkers < 0) runs the pass inline
+// before returning.
+func (r *Repository) maybeReplan(ctx context.Context) {
+	if r.opt.ReplanEvery <= 0 {
+		return
+	}
+	r.stateMu.RLock()
+	due := r.sinceReplan >= r.opt.ReplanEvery
+	r.stateMu.RUnlock()
+	if !due {
+		return
+	}
+	if r.maintWorkers == 0 {
+		r.runPass(ctx)
+		return
+	}
+	r.scheduleReplan()
+}
+
+// scheduleReplan requests one background pass. Requests coalesce: the
+// trigger channel holds at most one pending pass, and a pass that is
+// already running will satisfy every request issued before it finishes
+// (it solves against a snapshot taken after those requests).
+func (r *Repository) scheduleReplan() {
+	r.maintMu.Lock()
+	r.maintReq++
+	r.maintMu.Unlock()
+	select {
+	case r.maintTrigger <- struct{}{}:
+	default: // a pass is already pending; it will cover this request
+	}
+}
+
+// maintenanceLoop is one background worker: wait for a trigger, run a
+// pass, mark every request issued before the pass started as done, and
+// re-trigger if commits landed during the pass kept the repository due.
+func (r *Repository) maintenanceLoop() {
+	defer r.maintWG.Done()
+	for {
+		select {
+		case <-r.maintStop:
+			return
+		case <-r.maintTrigger:
+		}
+		r.maintMu.Lock()
+		goal := r.maintReq
+		r.maintMu.Unlock()
+		err := r.runPass(r.maintCtx)
+		r.asyncReplans.Add(1)
+		r.maintMu.Lock()
+		if goal > r.maintDone {
+			r.maintDone = goal
+		}
+		r.maintCond.Broadcast()
+		r.maintMu.Unlock()
+		if err == nil {
+			// Commits during the pass may already have re-armed the
+			// cadence; without a self-trigger the backlog would sit until
+			// the next commit. (After a failure the next commit is the
+			// retry path — self-triggering would hot-loop a broken solver.)
+			r.stateMu.RLock()
+			due := r.opt.ReplanEvery > 0 && r.sinceReplan >= r.opt.ReplanEvery
+			r.stateMu.RUnlock()
+			if due {
+				r.scheduleReplan()
+			}
+		}
+	}
+}
+
+// WaitMaintenance blocks until every maintenance pass requested before
+// the call has completed (successfully or not), or ctx is done. It
+// returns immediately on repositories with nothing pending; a Close
+// releases all waiters. Use it in tests and tooling that assert on
+// Stats after committing past the ReplanEvery cadence.
+func (r *Repository) WaitMaintenance(ctx context.Context) error {
+	r.maintMu.Lock()
+	target := r.maintReq
+	r.maintMu.Unlock()
+	if target == 0 {
+		return nil
+	}
+	// Wake the cond waiter when ctx fires; Broadcast is harmless noise
+	// for everyone else.
+	stop := context.AfterFunc(ctx, func() {
+		r.maintMu.Lock()
+		r.maintCond.Broadcast()
+		r.maintMu.Unlock()
+	})
+	defer stop()
+	r.maintMu.Lock()
+	defer r.maintMu.Unlock()
+	for r.maintDone < target {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r.maintCond.Wait()
+	}
+	return nil
+}
+
+// Replan forces a full maintenance pass — a portfolio re-solve of the
+// configured regime and a store migration to the winning plan — and
+// returns its error. It runs on the caller's goroutine (commits proceed
+// during the solve, exactly as for a background pass) and serializes
+// with any in-flight background pass.
+func (r *Repository) Replan(ctx context.Context) error {
+	if r.isClosed() {
+		return ErrClosed
+	}
+	return r.runPass(ctx)
+}
+
+func (r *Repository) isClosed() bool {
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	return r.closed
+}
+
+// runPass executes one maintenance pass end to end and records its
+// outcome for Stats. passMu serializes whole passes — two concurrent
+// solves against overlapping snapshots would just race to install the
+// same plan.
+func (r *Repository) runPass(ctx context.Context) error {
+	r.passMu.Lock()
+	defer r.passMu.Unlock()
+	err := r.replanAndInstall(ctx)
+	if err != nil {
+		r.replanFailures.Add(1)
+		r.stateMu.Lock()
+		// Deliberately NOT resetting sinceReplan: the next commit past
+		// the cadence re-triggers, so a transient solver failure heals
+		// itself instead of wedging until a full extra window elapses.
+		r.replanErr = err
+		r.stateMu.Unlock()
+	}
+	return err
+}
+
+// replanAndInstall is the pass body: snapshot, solve, precompute,
+// install, publish.
+func (r *Repository) replanAndInstall(ctx context.Context) error {
+	if r.isClosed() {
+		return ErrClosed
+	}
+	r.stateMu.RLock()
+	gSnap := r.g.Clone()
+	r.stateMu.RUnlock()
+	if gSnap.N() == 0 {
+		r.stateMu.Lock()
+		r.sinceReplan = 0
+		r.replanErr = nil
+		r.stateMu.Unlock()
+		return nil
+	}
+	constraint, err := r.constraintFor(gSnap)
+	if err != nil {
+		return err
+	}
+	res, err := r.solve(ctx, gSnap, r.opt.Problem, constraint)
+	if err != nil {
+		return fmt.Errorf("versioning: re-plan %s(%d): %w", r.opt.Problem, constraint, err)
+	}
+	// Clone before grafting below: the engine memoizes solutions by graph
+	// fingerprint and may hand the same *Plan to a later call.
+	solved := res.Solution.Plan.Clone()
+
+	// Precompute every content the migration needs through the normal
+	// concurrent checkout path, so the install step under commitMu is
+	// pure object I/O. Contents are immutable, so these stay exact no
+	// matter how many commits land meanwhile.
+	memo := make(map[NodeID][]string)
+	for _, v := range planContentNodes(gSnap, solved) {
+		l, cerr := r.st.Checkout(ctx, v)
+		if cerr != nil {
+			return fmt.Errorf("versioning: preloading content for migration: %w", cerr)
+		}
+		memo[v] = l
+	}
+	content := func(v NodeID) ([]string, error) {
+		if l, ok := memo[v]; ok {
+			return l, nil
+		}
+		// A version committed after the snapshot (grafted below): its
+		// incremental chain is intact, so this read-path call is cheap.
+		return r.st.Checkout(ctx, v)
+	}
+
+	// Install + publish under commitMu: the store's Install must not
+	// race AddVersion (both swap the metadata maps), and the graft below
+	// must see a frozen live plan. r.g and r.plan are safe to read here —
+	// every writer holds commitMu.
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	// Graft the versions committed while the solver ran: they keep the
+	// exact incremental layout the live plan gave them (materialized
+	// roots, stored forward deltas), so the installed plan covers the
+	// full live graph and those versions' storage is untouched.
+	grafted := r.g.N() - gSnap.N()
+	p := solved
+	p.Materialized = append(p.Materialized, r.plan.Materialized[gSnap.N():]...)
+	p.Stored = append(p.Stored, r.plan.Stored[gSnap.M():]...)
+	if err := r.st.Install(r.g, p, content); err != nil {
+		return fmt.Errorf("versioning: migrating to new plan: %w", err)
+	}
+	cost := Evaluate(r.g, p)
+	retr := p.Retrievals(r.g)
+	r.stateMu.Lock()
+	r.plan = p
+	r.planCost = cost
+	r.retr = retr
+	r.constraint = constraint
+	r.winner = res.Winner
+	r.replans++
+	r.sinceReplan = grafted
+	r.replanErr = nil
+	r.stateMu.Unlock()
+	return nil
+}
+
+// planContentNodes lists the versions whose full content a migration to
+// p needs: every materialized version and both endpoints of every
+// stored delta (Install re-derives edit scripts from endpoint
+// contents).
+func planContentNodes(g *Graph, p *Plan) []NodeID {
+	need := make([]bool, g.N())
+	for v, m := range p.Materialized {
+		if m {
+			need[v] = true
+		}
+	}
+	for e, s := range p.Stored {
+		if !s {
+			continue
+		}
+		edge := g.Edge(EdgeID(e))
+		need[edge.From] = true
+		need[edge.To] = true
+	}
+	var out []NodeID
+	for v, n := range need {
+		if n {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}

@@ -3,10 +3,13 @@ package versioning
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/diff"
 	"repro/internal/repogen"
@@ -39,6 +42,9 @@ func TestRepositoryPersistenceRoundTrip(t *testing.T) {
 		if _, err := r.Commit(ctx, src.Parents[v], src.Contents[v]); err != nil {
 			t.Fatalf("Commit(%d): %v", v, err)
 		}
+	}
+	if err := r.WaitMaintenance(ctx); err != nil {
+		t.Fatal(err)
 	}
 	if st := r.Stats(); st.Replans == 0 {
 		t.Fatalf("expected at least one migration against the disk backend, got %+v", st)
@@ -98,6 +104,12 @@ func TestRepositoryCrashRecovery(t *testing.T) {
 		if _, err := r.Commit(ctx, src.Parents[v], src.Contents[v]); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// Quiesce background maintenance first — a killed process has no
+	// worker either, and the old instance must not keep migrating the
+	// directory underneath the new one.
+	if err := r.WaitMaintenance(ctx); err != nil {
+		t.Fatal(err)
 	}
 	// No Close: simulate a killed process (the OS keeps the written
 	// bytes; only the in-memory state dies with the old Repository).
@@ -327,5 +339,276 @@ func TestWALRecordCodec(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, child) {
 		t.Fatalf("child record round-trip: %+v -> %+v", child, got)
+	}
+}
+
+// groupOptions builds durable options with group commit + fsync and no
+// automatic maintenance (crash tests reopen the directory under the
+// "dead" instance, which therefore must stay quiescent).
+func groupOptions(dir string) RepositoryOptions {
+	opt := durableOptions(dir)
+	opt.GroupCommit = true
+	opt.SyncWrites = true
+	opt.ReplanEvery = -1
+	return opt
+}
+
+// TestGroupCommitCrashRecovery is the batched kill -9 path: concurrent
+// committers share journal batches, the process "dies" without Close,
+// and a reopen must serve every acknowledged commit — acknowledgment
+// happens only after the commit's batch is durable, so nothing acked may
+// be missing, torn, or reordered.
+func TestGroupCommitCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open("gc-crash", groupOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const goroutines, chain = 6, 10
+	type acked struct {
+		id    NodeID
+		lines []string
+	}
+	ackedByWorker := make([][]acked, goroutines)
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker grows its own lineage so parents are always ids it
+			// has itself seen acknowledged.
+			parent, lines := NoParent, []string{fmt.Sprintf("worker %d root", w)}
+			for i := 0; i < chain; i++ {
+				id, err := r.Commit(ctx, parent, lines)
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d commit %d: %w", w, i, err)
+					return
+				}
+				ackedByWorker[w] = append(ackedByWorker[w], acked{id, lines})
+				parent = id
+				lines = append(lines[:len(lines):len(lines)], fmt.Sprintf("worker %d line %d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.WALBatchedCommits != goroutines*chain {
+		t.Fatalf("WALBatchedCommits = %d, want %d (every commit rides a batch)", st.WALBatchedCommits, goroutines*chain)
+	}
+
+	// No Close: the old instance's memory dies, the journal file stays.
+	r2, err := Open("gc-crash", groupOptions(dir))
+	if err != nil {
+		t.Fatalf("reopening after batched crash: %v", err)
+	}
+	defer r2.Close()
+	if got := r2.Versions(); got != goroutines*chain {
+		t.Fatalf("recovered %d versions, want %d — an acked batched commit was lost", got, goroutines*chain)
+	}
+	for w, ack := range ackedByWorker {
+		for i, a := range ack {
+			got, err := r2.Checkout(ctx, a.id)
+			if err != nil {
+				t.Fatalf("worker %d commit %d (version %d) after crash: %v", w, i, a.id, err)
+			}
+			if !reflect.DeepEqual(got, a.lines) {
+				t.Fatalf("worker %d commit %d (version %d) recovered wrong content", w, i, a.id)
+			}
+		}
+	}
+}
+
+// TestGroupCommitBatching pins the batching itself: with a generous
+// linger, concurrent committers released together must share batches
+// (WALMaxBatch > 1) rather than degenerate to one fsync each, and the
+// batched journal must round-trip a clean reopen.
+func TestGroupCommitBatching(t *testing.T) {
+	dir := t.TempDir()
+	opt := groupOptions(dir)
+	opt.GroupCommitLinger = 50 * time.Millisecond
+	r, err := Open("gc-batch", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := r.Commit(ctx, NoParent, []string{"root"}); err != nil {
+		t.Fatal(err)
+	}
+	const concurrent = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if _, err := r.Commit(ctx, 0, []string{"root", fmt.Sprintf("branch %d", i)}); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.WALBatchedCommits != concurrent+1 {
+		t.Fatalf("WALBatchedCommits = %d, want %d", st.WALBatchedCommits, concurrent+1)
+	}
+	if st.WALMaxBatch < 2 {
+		t.Fatalf("WALMaxBatch = %d: concurrent commits inside a %v linger never shared a batch", st.WALMaxBatch, opt.GroupCommitLinger)
+	}
+	if st.WALBatches >= st.WALBatchedCommits {
+		t.Fatalf("%d batches for %d commits: group commit saved no journal writes", st.WALBatches, st.WALBatchedCommits)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open("gc-batch", groupOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.Versions(); got != concurrent+1 {
+		t.Fatalf("reopened batched journal has %d versions, want %d", got, concurrent+1)
+	}
+	for i := 0; i < concurrent; i++ {
+		if _, err := r2.Checkout(ctx, NodeID(i+1)); err != nil {
+			t.Fatalf("Checkout(%d) after batched round-trip: %v", i+1, err)
+		}
+	}
+}
+
+// TestGroupCommitFailedApplyUnstages is the group-mode twin of
+// TestRepositoryFailedCommitRollsBackJournal: a failed apply must
+// unstage its frame before any leader writes it — no ghost record, the
+// version id is reused, and the journal replays cleanly.
+func TestGroupCommitFailedApplyUnstages(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := store.OpenDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyBackend{Backend: disk}
+	opt := groupOptions(dir)
+	opt.Backend = flaky
+	r, err := Open("gc-rollback", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := r.Commit(ctx, NoParent, []string{"v0"}); err != nil {
+		t.Fatal(err)
+	}
+	flaky.failPuts = true
+	if _, err := r.Commit(ctx, 0, []string{"v0", "v1-lost"}); err == nil {
+		t.Fatal("commit with failing backend succeeded")
+	}
+	flaky.failPuts = false
+	v, err := r.Commit(ctx, 0, []string{"v0", "v1-kept"})
+	if err != nil {
+		t.Fatalf("commit after transient failure: %v", err)
+	}
+	if v != 1 {
+		t.Fatalf("commit after failure assigned id %d, want 1", v)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open("gc-rollback", groupOptions(dir))
+	if err != nil {
+		t.Fatalf("reopening after an unstaged commit: %v", err)
+	}
+	defer r2.Close()
+	if got := r2.Versions(); got != 2 {
+		t.Fatalf("reopened repository has %d versions, want 2 — the unstaged frame leaked into a batch", got)
+	}
+	got, err := r2.Checkout(ctx, 1)
+	if err != nil || !reflect.DeepEqual(got, []string{"v0", "v1-kept"}) {
+		t.Fatalf("Checkout(1) after reopen = %q, %v", got, err)
+	}
+}
+
+// TestGroupCommitJournalPrefixReplay pins the on-disk contract at the
+// journal layer: a batch write is byte-identical to sequential appends,
+// so EVERY byte prefix of a batched journal (a crash can cut a batch
+// anywhere) replays to an in-order prefix of the sealed records — never
+// a hole, a reorder, or a half-record.
+func TestGroupCommitJournalPrefixReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "batched.wal")
+	w, recs, _, err := openWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	w.enableGroup(0)
+	const n = 5
+	want := make([]walRecord, n)
+	for i := range want {
+		want[i] = walRecord{
+			v:           NodeID(i),
+			parent:      NoParent,
+			nodeStorage: Cost(7 * (i + 1)),
+			lines:       []string{fmt.Sprintf("record %d", i), "shared tail"},
+		}
+		w.stage(want[i])
+		w.seal()
+	}
+	// One leader writes all five records as a single batch.
+	if err := w.waitDurable(n); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.batches.Load(); got != 1 {
+		t.Fatalf("flushed %d batches, want 1", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := -1
+	for cut := len(walMagic); cut <= len(data); cut++ {
+		cutPath := filepath.Join(dir, "cut.wal")
+		if err := os.WriteFile(cutPath, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, got, truncated, err := openWAL(cutPath, false)
+		if err != nil {
+			t.Fatalf("cut at %d bytes: %v", cut, err)
+		}
+		w2.Close()
+		if len(got) > n {
+			t.Fatalf("cut at %d bytes replayed %d records, more than were sealed", cut, len(got))
+		}
+		for i, rec := range got {
+			if !reflect.DeepEqual(rec, want[i]) {
+				t.Fatalf("cut at %d bytes replayed out-of-prefix record %d", cut, i)
+			}
+		}
+		if len(got) < prev {
+			t.Fatalf("cut at %d bytes lost a record that a shorter cut had (%d < %d)", cut, len(got), prev)
+		}
+		prev = len(got)
+		if truncated > 0 && cut == len(data) {
+			t.Fatalf("intact batched journal reported %d truncated bytes", truncated)
+		}
+		os.Remove(cutPath)
+	}
+	if prev != n {
+		t.Fatalf("full journal replayed %d records, want %d", prev, n)
 	}
 }

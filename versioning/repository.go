@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -38,7 +39,10 @@ type RepositoryOptions struct {
 	AutoFactor float64
 	// ReplanEvery re-plans (and migrates the store) every k commits:
 	// 0 = 8, negative = only on explicit Replan calls. Between re-plans a
-	// new version rides a single appended delta from its parent.
+	// new version rides a single appended delta from its parent. The
+	// re-plan runs in a background maintenance worker unless
+	// MaintenanceWorkers is negative; use Repository.WaitMaintenance to
+	// observe its completion.
 	ReplanEvery int
 	// CacheEntries bounds the LRU cache of reconstructed versions
 	// (0 = 256, negative disables).
@@ -63,6 +67,32 @@ type RepositoryOptions struct {
 	// Close. Off, a process kill loses nothing (the OS has the bytes); a
 	// machine crash may lose the most recent commits.
 	SyncWrites bool
+	// GroupCommit batches concurrent commits' journal writes: committers
+	// stage records into a shared batch and one leader performs a single
+	// write — and, with SyncWrites, a single fsync — for the whole batch,
+	// so N concurrent commits cost one fsync instead of N. A commit is
+	// still only acknowledged after its own record's batch is durable;
+	// the contract per commit is unchanged, only the syscalls are
+	// amortized. Rollback of a failed commit gets cheaper (the staged
+	// record is discarded in memory, never written), while a batch write
+	// failure poisons the journal and closes the repository for writes —
+	// the journal cannot tell which bytes of a torn batch reached the
+	// disk. Only meaningful with DataDir.
+	GroupCommit bool
+	// GroupCommitLinger is how long a batch leader holds the batch open
+	// for more concurrent commits to join before writing. 0 picks a
+	// default: 200µs with SyncWrites (an fsync dwarfs the wait), no
+	// linger otherwise. Negative disables lingering.
+	GroupCommitLinger time.Duration
+	// MaintenanceWorkers sets how plan maintenance (the ReplanEvery
+	// re-solve + store migration) runs. 0 or positive starts that many
+	// background workers (0 = 1): Commit only trips a trigger and returns
+	// while a worker solves against a snapshot and installs the winning
+	// plan under a short lock. Negative runs maintenance synchronously
+	// inside Commit (the pre-async behavior: the commit that trips
+	// ReplanEvery blocks until the re-plan finishes) — deterministic, and
+	// the right choice for tests that assert on Replans immediately.
+	MaintenanceWorkers int
 	// Engine is the portfolio engine used for re-planning. nil builds one
 	// from EngineOptions; if those are zero too, the serving defaults
 	// apply (5s solver timeout, ILP disabled).
@@ -81,26 +111,57 @@ type RepositoryOptions struct {
 // Checkout reconstructs any version by walking the plan's retrieval path,
 // with LRU caching, singleflight deduplication and batch support.
 //
-// Locking is split by role. commitMu serializes the writers (Commit,
-// Replan, Close) among themselves; stateMu is an RWMutex protecting the
-// serving metadata, write-locked only for the brief publication step of
-// a commit or re-plan — never across diffs, solver races, store
-// migrations, or journal I/O. Checkout/CheckoutBatch take neither lock
-// (the store synchronizes itself), and Stats/Summary/Plan/Versions take
-// only the read lock, so the read path proceeds concurrently with even
-// the longest re-plan. Returned and committed line slices are shared
-// with the cache: callers must not modify them.
+// Locking is split by role. commitMu serializes the writers (Commit's
+// critical section, plan installs, Close) among themselves; stateMu is
+// an RWMutex protecting the serving metadata, write-locked only for the
+// brief publication step of a commit or re-plan — never across diffs,
+// solver races, store migrations, or journal I/O. Checkout/
+// CheckoutBatch take neither lock (the store synchronizes itself), and
+// Stats/Summary/Plan/Versions take only the read lock, so the read path
+// proceeds concurrently with even the longest re-plan. Commit computes
+// its Myers diffs before taking commitMu and waits for journal
+// durability after releasing it, so concurrent commits only serialize
+// on the short id-assign/stage/apply step; re-plans run in background
+// maintenance workers (see maintenance.go) and only take commitMu for
+// the store migration and publication. Returned and committed line
+// slices are shared with the cache: callers must not modify them.
 type Repository struct {
 	opt   RepositoryOptions
 	eng   *Engine
 	st    *store.Store
 	start time.Time // creation/open time (Stats reports uptime)
 
-	// commitMu serializes commits, re-plans, and close. The journal and
-	// the store's Add*/Install/Sweep methods are only touched under it.
-	commitMu sync.Mutex
-	wal      *wal // nil when the repository is not durable
-	closed   bool
+	// solve runs the portfolio race for maintenance passes. It defaults
+	// to eng.Solve; tests swap it to inject solver failures.
+	solve func(ctx context.Context, g *Graph, p Problem, constraint Cost) (PortfolioResult, error)
+
+	// commitMu serializes commits, plan installs, and close. The journal
+	// and the store's Add*/Install/Sweep methods are only touched under
+	// it.
+	commitMu  sync.Mutex
+	wal       *wal // nil when the repository is not durable
+	closed    bool
+	closeOnce sync.Once
+	closeErr  error
+
+	// Plan-maintenance machinery (maintenance.go). passMu serializes
+	// whole maintenance passes; maintMu guards the trigger/completion
+	// bookkeeping. Lock order: passMu > commitMu > stateMu; maintMu
+	// nests inside nothing.
+	passMu       sync.Mutex
+	maintWorkers int // resolved worker count (0 = synchronous in Commit)
+	maintCtx     context.Context
+	maintCancel  context.CancelFunc
+	maintStop    chan struct{}
+	maintTrigger chan struct{} // capacity 1: pending passes coalesce
+	maintWG      sync.WaitGroup
+	maintMu      sync.Mutex
+	maintCond    *sync.Cond
+	maintReq     uint64 // maintenance requests issued
+	maintDone    uint64 // requests satisfied by a completed pass
+
+	asyncReplans   atomic.Int64 // passes run by background workers
+	replanFailures atomic.Int64 // failed passes (sync or async)
 
 	// stateMu guards the serving metadata below.
 	stateMu     sync.RWMutex
@@ -136,7 +197,7 @@ func NewRepository(name string, opt RepositoryOptions) *Repository {
 	if backend == nil {
 		backend = store.NewShardedMemBackend(opt.Shards)
 	}
-	return &Repository{
+	r := &Repository{
 		opt:        opt,
 		eng:        eng,
 		start:      time.Now(),
@@ -146,6 +207,9 @@ func NewRepository(name string, opt RepositoryOptions) *Repository {
 		planCost:   PlanCost{Feasible: true},
 		constraint: opt.Constraint,
 	}
+	r.solve = eng.Solve
+	r.startMaintenance()
+	return r
 }
 
 // Open returns a repository backed by durable storage: objects in
@@ -178,6 +242,16 @@ func Open(name string, opt RepositoryOptions) (*Repository, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opt.GroupCommit {
+		linger := opt.GroupCommitLinger
+		if linger == 0 && opt.SyncWrites {
+			linger = 200 * time.Microsecond
+		}
+		if linger < 0 {
+			linger = 0
+		}
+		w.enableGroup(linger)
+	}
 	for _, rec := range recs {
 		if int(rec.v) != r.g.N() {
 			w.Close()
@@ -201,24 +275,40 @@ func Open(name string, opt RepositoryOptions) (*Repository, error) {
 	return r, nil
 }
 
-// Close flushes the journal and the backend and rejects further writes.
-// Reads keep working (a closed repository still serves checkouts).
-// Closing an already-closed or purely in-memory repository is a no-op.
+// Close drains the maintenance workers, flushes the journal and the
+// backend, and rejects further writes. Reads keep working (a closed
+// repository still serves checkouts). Closing an already-closed or
+// purely in-memory repository is a no-op.
 func (r *Repository) Close() error {
-	r.commitMu.Lock()
-	defer r.commitMu.Unlock()
-	if r.closed {
-		return nil
-	}
-	r.closed = true
-	var err error
-	if r.wal != nil {
-		err = r.wal.Close()
-	}
-	if cerr := r.st.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	r.closeOnce.Do(func() {
+		r.commitMu.Lock()
+		r.closed = true
+		r.commitMu.Unlock()
+		// Drain maintenance before touching the journal: cancel any
+		// in-flight solve, stop the workers, and wait them out. commitMu
+		// must not be held here — an in-flight pass needs it for its
+		// install step (where it will observe closed and abort). Then
+		// unblock WaitMaintenance callers whose requests will never be
+		// served.
+		r.maintCancel()
+		close(r.maintStop)
+		r.maintWG.Wait()
+		r.maintMu.Lock()
+		r.maintDone = r.maintReq
+		r.maintCond.Broadcast()
+		r.maintMu.Unlock()
+		r.commitMu.Lock()
+		defer r.commitMu.Unlock()
+		var err error
+		if r.wal != nil {
+			err = r.wal.Close()
+		}
+		if cerr := r.st.Close(); err == nil {
+			err = cerr
+		}
+		r.closeErr = err
+	})
+	return r.closeErr
 }
 
 // Versions reports the number of committed versions.
@@ -233,27 +323,24 @@ func (r *Repository) Versions() int {
 // until the next re-plan). The delta to and from the parent is computed
 // with a real Myers diff and weighs the new graph edges; the version is
 // immediately retrievable. Every ReplanEvery commits the repository
-// re-plans under ctx and migrates the store to the new plan; a re-plan
-// failure is not fatal — the previous plan keeps serving and the error is
-// reported by Stats.
+// triggers a re-plan and store migration — in a background maintenance
+// worker by default (see RepositoryOptions.MaintenanceWorkers) — and a
+// re-plan failure is not fatal: the previous plan keeps serving, the
+// error is reported by Stats, and the next trigger retries.
+//
+// The commit pipeline is three phases. Diffing runs before commitMu:
+// version contents are immutable and ids only grow, so the parent read
+// here is still exact inside the critical section. Under commitMu the
+// version id is assigned, the journal record staged, and the store and
+// serving state updated. Durability (waiting for the journal write —
+// with GroupCommit, for the record's batch) happens after the lock is
+// released, so concurrent commits overlap their diffs and fsyncs and
+// only serialize on the short middle step.
 func (r *Repository) Commit(ctx context.Context, parent NodeID, lines []string) (NodeID, error) {
-	r.commitMu.Lock()
-	defer r.commitMu.Unlock()
-	if r.closed {
-		return 0, ErrClosed
-	}
-	// r.g is stable here: mutations require commitMu, which we hold.
-	v := NodeID(r.g.N())
-	if parent == NoParent {
-		rec := walRecord{v: v, parent: NoParent, nodeStorage: diff.ByteSize(lines), lines: lines}
-		if err := r.commitJournaled(rec, func() error {
-			return r.applyRoot(v, lines, rec.nodeStorage)
-		}); err != nil {
-			return 0, err
-		}
-	} else {
-		if int(parent) < 0 || int(parent) >= r.g.N() {
-			return 0, fmt.Errorf("versioning: commit parent %d does not exist (have %d versions)", parent, r.g.N())
+	rec := walRecord{parent: parent, nodeStorage: diff.ByteSize(lines), lines: lines}
+	if parent != NoParent {
+		if int(parent) < 0 || int(parent) >= r.Versions() {
+			return 0, fmt.Errorf("versioning: commit parent %d does not exist (have %d versions)", parent, r.Versions())
 		}
 		parentLines, err := r.st.Checkout(ctx, parent)
 		if err != nil {
@@ -261,54 +348,84 @@ func (r *Repository) Commit(ctx context.Context, parent NodeID, lines []string) 
 		}
 		fwd := diff.Compute(parentLines, lines)
 		rev := diff.Compute(lines, parentLines)
-		rec := walRecord{
-			v: v, parent: parent,
-			nodeStorage: diff.ByteSize(lines),
-			fwdStorage:  fwd.StorageCost(), fwdRetr: fwd.StorageCost(),
-			revStorage: rev.StorageCost(), revRetr: rev.StorageCost(),
-			delta: fwd,
-		}
-		if err := r.commitJournaled(rec, func() error {
-			return r.applyChild(v, parent, fwd, lines, rec)
-		}); err != nil {
-			return 0, err
+		rec.fwdStorage, rec.fwdRetr = fwd.StorageCost(), fwd.StorageCost()
+		rec.revStorage, rec.revRetr = rev.StorageCost(), rev.StorageCost()
+		rec.delta = fwd
+	}
+
+	r.commitMu.Lock()
+	if r.closed {
+		r.commitMu.Unlock()
+		return 0, ErrClosed
+	}
+	// r.g is stable here: mutations require commitMu, which we hold.
+	v := NodeID(r.g.N())
+	rec.v = v
+	var apply func() error
+	if parent == NoParent {
+		apply = func() error { return r.applyRoot(v, lines, rec.nodeStorage) }
+	} else {
+		apply = func() error { return r.applyChild(v, parent, rec.delta, lines, rec) }
+	}
+	wait, err := r.commitJournaled(rec, apply)
+	r.commitMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			// The batch write failed after the version was applied: the
+			// journal and the live state may diverge, so the repository
+			// closes itself rather than acknowledge commits it cannot
+			// prove durable. Reads keep serving.
+			r.Close()
+			return 0, fmt.Errorf("versioning: journaling commit %d: %w (repository closed)", v, err)
 		}
 	}
-	r.stateMu.RLock()
-	due := r.opt.ReplanEvery > 0 && r.sinceReplan >= r.opt.ReplanEvery
-	r.stateMu.RUnlock()
-	if due {
-		r.replanUnderCommitMu(ctx)
-	}
+	r.maybeReplan(ctx)
 	return v, nil
 }
 
-// commitJournaled runs one commit write-ahead: the journal record is
-// appended before apply runs, so an acknowledged commit is always
-// recoverable; if apply fails, the record is rolled back so a failed
-// commit leaves no ghost in the journal (a duplicate version id would
-// make replay reject the whole journal). If even the rollback fails,
-// the repository closes itself rather than let the journal and the live
-// state diverge. commitMu is held.
-func (r *Repository) commitJournaled(rec walRecord, apply func() error) error {
+// commitJournaled runs one commit write-ahead under commitMu: the
+// journal record is staged (group mode) or appended (direct mode)
+// before apply runs, so an acknowledged commit is always recoverable;
+// if apply fails, the record is rolled back so a failed commit leaves
+// no ghost in the journal (a duplicate version id would make replay
+// reject the whole journal). In group mode rollback is an in-memory
+// unstage — the staged frame was never written — and the returned wait
+// function blocks until the record's batch is durable; callers must
+// invoke it after releasing commitMu. In direct mode the append is
+// already durable on return (wait is nil), and if even the rollback
+// truncation fails the repository closes itself rather than let the
+// journal and the live state diverge.
+func (r *Repository) commitJournaled(rec walRecord, apply func() error) (wait func() error, err error) {
 	if r.wal == nil {
-		return apply()
+		return nil, apply()
+	}
+	if r.wal.group {
+		frame := r.wal.stage(rec)
+		if err := apply(); err != nil {
+			r.wal.unstage(frame)
+			return nil, err
+		}
+		seq := r.wal.seal()
+		return func() error { return r.wal.waitDurable(seq) }, nil
 	}
 	off, err := r.wal.offset()
 	if err != nil {
-		return fmt.Errorf("versioning: positioning journal: %w", err)
+		return nil, fmt.Errorf("versioning: positioning journal: %w", err)
 	}
 	if err := r.wal.append(rec); err != nil {
-		return err
+		return nil, err
 	}
 	if err := apply(); err != nil {
 		if terr := r.wal.truncate(off); terr != nil {
 			r.closed = true
-			return fmt.Errorf("versioning: %v (journal rollback failed: %v; repository closed)", err, terr)
+			return nil, fmt.Errorf("versioning: %v (journal rollback failed: %v; repository closed)", err, terr)
 		}
-		return err
+		return nil, err
 	}
-	return nil
+	return nil, nil
 }
 
 // applyRoot publishes root version v with the given content; commitMu is
@@ -384,77 +501,10 @@ func (r *Repository) CheckoutBatch(ctx context.Context, ids []NodeID) []Checkout
 	return out
 }
 
-// Replan forces a portfolio re-solve of the configured regime and
-// migrates the store to the winning plan.
-func (r *Repository) Replan(ctx context.Context) error {
-	r.commitMu.Lock()
-	defer r.commitMu.Unlock()
-	if r.closed {
-		return ErrClosed
-	}
-	r.replanUnderCommitMu(ctx)
-	r.stateMu.RLock()
-	defer r.stateMu.RUnlock()
-	return r.replanErr
-}
-
-// replanUnderCommitMu re-solves and migrates; commitMu is held, so r.g
-// cannot change under the solver, but stateMu is NOT held across the
-// solver race or the store migration — readers and checkouts proceed
-// throughout. Failures leave the current plan serving and are recorded
-// for Stats.
-func (r *Repository) replanUnderCommitMu(ctx context.Context) {
-	finish := func(err error) {
-		r.stateMu.Lock()
-		r.sinceReplan = 0
-		r.replanErr = err
-		r.stateMu.Unlock()
-	}
-	if r.g.N() == 0 {
-		finish(nil)
-		return
-	}
-	constraint, err := r.constraintUnderCommitMu()
-	if err != nil {
-		finish(err)
-		return
-	}
-	res, err := r.eng.Solve(ctx, r.g, r.opt.Problem, constraint)
-	if err != nil {
-		finish(fmt.Errorf("versioning: re-plan %s(%d): %w", r.opt.Problem, constraint, err))
-		return
-	}
-	memo := make(map[NodeID][]string, r.g.N())
-	content := func(v NodeID) ([]string, error) {
-		if l, ok := memo[v]; ok {
-			return l, nil
-		}
-		l, err := r.st.Checkout(ctx, v)
-		if err != nil {
-			return nil, err
-		}
-		memo[v] = l
-		return l, nil
-	}
-	if err := r.st.Install(r.g, res.Solution.Plan, content); err != nil {
-		finish(fmt.Errorf("versioning: migrating to new plan: %w", err))
-		return
-	}
-	r.stateMu.Lock()
-	r.plan = res.Solution.Plan
-	r.planCost = res.Solution.Cost
-	r.retr = r.plan.Retrievals(r.g)
-	r.constraint = constraint
-	r.winner = res.Winner
-	r.replans++
-	r.sinceReplan = 0
-	r.replanErr = nil
-	r.stateMu.Unlock()
-}
-
-// constraintUnderCommitMu resolves the regime constraint: the configured
-// bound, or an automatic one derived from the minimum-storage plan.
-func (r *Repository) constraintUnderCommitMu() (Cost, error) {
+// constraintFor resolves the regime constraint against g: the
+// configured bound, or an automatic one derived from g's
+// minimum-storage plan.
+func (r *Repository) constraintFor(g *Graph) (Cost, error) {
 	if r.opt.Constraint != 0 {
 		return r.opt.Constraint, nil
 	}
@@ -462,7 +512,7 @@ func (r *Repository) constraintUnderCommitMu() (Cost, error) {
 	case ProblemMST, ProblemSPT:
 		return 0, nil // unconstrained problems
 	}
-	mst, err := core.MST(r.g)
+	mst, err := core.MST(g)
 	if err != nil {
 		return 0, fmt.Errorf("versioning: deriving auto constraint: %w", err)
 	}
@@ -531,6 +581,23 @@ type RepositoryStats struct {
 	Winner         string `json:"winner,omitempty"`
 	ReplanError    string `json:"replan_error,omitempty"`
 	CommitsPending int    `json:"commits_pending"` // commits since the last re-plan
+	// AsyncReplans counts maintenance passes run by the background
+	// workers (successes and failures); ReplanFailures counts failed
+	// passes on any path. Replans above only counts installed plans.
+	AsyncReplans   int64 `json:"async_replans"`
+	ReplanFailures int64 `json:"replan_failures,omitempty"`
+	// Migrations counts successful store migrations and MigrationMicros
+	// the cumulative wall time inside them — the work the async workers
+	// keep off the commit path.
+	Migrations      int64 `json:"migrations"`
+	MigrationMicros int64 `json:"migration_us_total"`
+
+	// Group-commit batching (zero unless GroupCommit is on): batches
+	// written, commits that rode them, and the largest batch observed.
+	// batched_commits / batches is the mean fsync amortization.
+	WALBatches        int64 `json:"wal_batches,omitempty"`
+	WALBatchedCommits int64 `json:"wal_batched_commits,omitempty"`
+	WALMaxBatch       int64 `json:"wal_max_batch,omitempty"`
 
 	Objects        int   `json:"objects"` // content-addressed objects in the backend
 	StoredBytes    int64 `json:"stored_bytes"`
@@ -571,8 +638,17 @@ func (r *Repository) Stats() RepositoryStats {
 		DeltaApplies:   ss.DeltaApplies,
 		PlanRetries:    ss.PlanRetries,
 	}
+	st.Migrations = ss.Installs
+	st.MigrationMicros = ss.InstallMicros
 	if r.replanErr != nil {
 		st.ReplanError = r.replanErr.Error()
+	}
+	st.AsyncReplans = r.asyncReplans.Load()
+	st.ReplanFailures = r.replanFailures.Load()
+	if r.wal != nil && r.wal.group {
+		st.WALBatches = r.wal.batches.Load()
+		st.WALBatchedCommits = r.wal.batchedRecs.Load()
+		st.WALMaxBatch = r.wal.maxBatch.Load()
 	}
 	return st
 }

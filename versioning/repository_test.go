@@ -65,7 +65,10 @@ func TestRepositoryRoundTripAllRegimes(t *testing.T) {
 					EngineOptions: testEngineOptions(),
 				})
 				ingest(t, r, src)
-				verifyAll(t, r, src)
+				verifyAll(t, r, src) // may race the async migration — checkouts must hold either way
+				if err := r.WaitMaintenance(context.Background()); err != nil {
+					t.Fatal(err)
+				}
 				st := r.Stats()
 				if st.Versions != src.Graph.N() || st.Replans == 0 {
 					t.Fatalf("Stats = %+v, want %d versions and at least one re-plan", st, src.Graph.N())

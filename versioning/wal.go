@@ -8,6 +8,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/diff"
 	"repro/internal/store"
@@ -101,9 +104,150 @@ func walUvarint(b []byte) (uint64, []byte, error) {
 }
 
 // wal is an append-only commit journal open for writing.
+//
+// Two write modes share the same on-disk framing. The direct mode
+// (append) writes and optionally fsyncs one record per call. The group
+// mode (stage/seal/unstage/waitDurable, enabled by enableGroup) batches
+// concurrent committers: each stages its framed record into a shared
+// in-memory buffer, and the first committer to need durability becomes
+// the batch leader — it writes (and, in fsync mode, syncs) every sealed
+// record in one syscall while later committers ride the next batch. A
+// batch on disk is indistinguishable from the same records appended one
+// by one, so recovery (openWAL) is unchanged: a crash tears at most the
+// final record of the final batch, and replay serves the longest intact
+// prefix.
 type wal struct {
 	f    *os.File
-	sync bool // fsync every append (otherwise only on Close)
+	sync bool // fsync every append/batch (otherwise only on Close)
+
+	// Group-commit state (nil/zero unless enableGroup ran). Staging and
+	// sealing are additionally serialized by the repository's commitMu,
+	// so the pending buffer is always a sealed prefix plus at most one
+	// unsealed tail frame (the commit currently applying).
+	group  bool
+	linger time.Duration // leader's wait for more sealers before writing
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	pend       []byte // staged frames not yet written
+	sealedLen  int    // bytes of pend that are sealed (flushable)
+	sealedRecs int    // records inside the sealed prefix
+	sealedSeq  uint64 // total records ever sealed (durability sequence)
+	durableSeq uint64 // total records written (+synced in fsync mode)
+	flushing   bool   // a leader is writing; followers wait on cond
+	failed     error  // sticky batch-write failure: the journal is poisoned
+
+	batches     atomic.Int64 // completed non-empty batch writes
+	batchedRecs atomic.Int64 // records written through batches
+	maxBatch    atomic.Int64 // largest batch (records)
+}
+
+// enableGroup switches w into group-commit mode.
+func (w *wal) enableGroup(linger time.Duration) {
+	w.group = true
+	w.linger = linger
+	w.cond = sync.NewCond(&w.mu)
+}
+
+// stage appends rec's framed bytes to the pending batch without sealing
+// them, returning the frame length for a possible unstage. The record
+// is invisible to leaders until seal.
+func (w *wal) stage(rec walRecord) int {
+	payload := rec.encode()
+	buf := binary.AppendUvarint(nil, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	buf = append(buf, payload...)
+	w.mu.Lock()
+	w.pend = append(w.pend, buf...)
+	w.mu.Unlock()
+	return len(buf)
+}
+
+// seal marks the staged tail frame flushable and returns the sequence
+// number the committer must waitDurable on.
+func (w *wal) seal() uint64 {
+	w.mu.Lock()
+	w.sealedLen = len(w.pend)
+	w.sealedRecs++
+	w.sealedSeq++
+	seq := w.sealedSeq
+	w.mu.Unlock()
+	return seq
+}
+
+// unstage discards the unsealed tail frame after a failed apply: the
+// bytes never reached the file (leaders only write the sealed prefix),
+// so rolling back a failed commit is purely in-memory — unlike the
+// direct mode's file truncation, it cannot itself fail.
+func (w *wal) unstage(frameLen int) {
+	w.mu.Lock()
+	w.pend = w.pend[:len(w.pend)-frameLen]
+	w.mu.Unlock()
+}
+
+// waitDurable blocks until sealed record seq is written (and fsynced,
+// in fsync mode). The first waiter that finds no flush in progress
+// becomes the leader and writes the whole sealed batch; everyone else
+// waits for a leader's broadcast. A write failure is sticky: the
+// journal cannot tell which bytes of a torn batch reached the disk, so
+// it refuses all further writes and every waiter gets the error.
+func (w *wal) waitDurable(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.durableSeq < seq {
+		if w.failed != nil {
+			return w.failed
+		}
+		if w.flushing {
+			w.cond.Wait()
+			continue
+		}
+		w.flushLocked()
+	}
+	return nil
+}
+
+// flushLocked writes the sealed batch as one syscall. w.mu is held on
+// entry and exit but released across the linger window and the file
+// I/O, so commits keep staging (and sealing into the next batch) while
+// the leader is at the syscall.
+func (w *wal) flushLocked() {
+	w.flushing = true
+	if w.linger > 0 {
+		// Hold the batch open briefly so concurrent commits join it: one
+		// fsync then covers all of them. Sleeping without the lock lets
+		// them stage and seal meanwhile.
+		w.mu.Unlock()
+		time.Sleep(w.linger)
+		w.mu.Lock()
+	}
+	buf := w.pend[:w.sealedLen:w.sealedLen]
+	recs := w.sealedRecs
+	rest := w.pend[w.sealedLen:]
+	w.pend = append([]byte(nil), rest...)
+	w.sealedLen = 0
+	w.sealedRecs = 0
+	w.mu.Unlock()
+	var err error
+	if len(buf) > 0 {
+		_, err = w.f.Write(buf)
+		if err == nil && w.sync {
+			err = w.f.Sync()
+		}
+	}
+	w.mu.Lock()
+	w.flushing = false
+	if err != nil {
+		w.failed = fmt.Errorf("versioning: writing journal batch: %w", err)
+	} else if recs > 0 {
+		w.durableSeq += uint64(recs)
+		w.batches.Add(1)
+		w.batchedRecs.Add(int64(recs))
+		if int64(recs) > w.maxBatch.Load() {
+			w.maxBatch.Store(int64(recs))
+		}
+	}
+	w.cond.Broadcast()
 }
 
 // openWAL opens (creating if needed) the journal at path, returns every
@@ -209,8 +353,26 @@ func (w *wal) truncate(off int64) error {
 	return err
 }
 
-// Close syncs and closes the journal.
+// Close syncs and closes the journal. In group mode any sealed batch is
+// written out first (commits are already excluded by the repository's
+// closed flag, so nothing new can stage underneath).
 func (w *wal) Close() error {
+	if w.group {
+		w.mu.Lock()
+		for w.failed == nil && (w.flushing || w.sealedLen > 0) {
+			if w.flushing {
+				w.cond.Wait()
+				continue
+			}
+			w.flushLocked()
+		}
+		ferr := w.failed
+		w.mu.Unlock()
+		if ferr != nil {
+			w.f.Close()
+			return ferr
+		}
+	}
 	err := w.f.Sync()
 	if cerr := w.f.Close(); err == nil {
 		err = cerr

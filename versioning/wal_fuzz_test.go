@@ -43,6 +43,30 @@ func FuzzWALReplay(f *testing.F) {
 	}
 	f.Add(seed)
 	f.Add(seed[:len(seed)-3])
+	// A batched journal written through the group-commit path (three
+	// records staged, sealed, and flushed by one leader in a single
+	// write), plus a mid-batch tear: recovery must treat the batch layout
+	// exactly like sequential appends.
+	batchPath := filepath.Join(seedDir, "batched.wal")
+	bw, _, _, err := openWAL(batchPath, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	bw.enableGroup(0)
+	for i := 0; i < 3; i++ {
+		bw.stage(walRecord{v: NodeID(i), parent: NoParent, nodeStorage: Cost(i + 1), lines: []string{"batched", string(rune('a' + i))}})
+		bw.seal()
+	}
+	if err := bw.waitDurable(3); err != nil {
+		f.Fatal(err)
+	}
+	bw.Close()
+	batched, err := os.ReadFile(batchPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batched)
+	f.Add(batched[:len(batched)-5])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
