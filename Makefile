@@ -55,7 +55,11 @@ serve-durable:
 # behind; then boot a multi-tenant dsvd with -max-open far below the
 # tenant count and drive a zipf-skewed 100-tenant mixed workload, so
 # LRU eviction + transparent reopen are exercised with zero failures
-# (BENCH_load_multi.json). CI runs both as the load-smoke job.
+# (BENCH_load_multi.json). Both daemons trace 1% of requests
+# (-trace-sample), both dsvload runs sample traces for the per-phase
+# breakdown in the reports, and the multi daemon's /metricsz is linted
+# with benchgate -metrics before shutdown so a malformed Prometheus
+# exposition fails the run. CI runs all of it as the load-smoke job.
 LOAD_ADDR ?= 127.0.0.1:8321
 LOAD_TENANTS ?= 100
 LOAD_MAX_OPEN ?= 16
@@ -63,20 +67,23 @@ load:
 	@set -e; tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
 	$(GO) build -o $$tmp/dsvd ./cmd/dsvd; \
 	$(GO) build -o $$tmp/dsvload ./cmd/dsvload; \
-	$$tmp/dsvd -addr $(LOAD_ADDR) -data-dir $$tmp/data & pid=$$!; \
+	$(GO) build -o $$tmp/benchgate ./cmd/benchgate; \
+	$$tmp/dsvd -addr $(LOAD_ADDR) -data-dir $$tmp/data -trace-sample 0.01 & pid=$$!; \
 	ok=""; for i in $$(seq 1 50); do \
 		if $$tmp/dsvload -addr http://$(LOAD_ADDR) -mix checkout -duration 0s -preload 1 -out - >/dev/null 2>&1; then ok=1; break; fi; \
 		sleep 0.2; done; \
 	[ -n "$$ok" ] || { echo "dsvd did not become healthy"; exit 1; }; \
 	$$tmp/dsvload -addr http://$(LOAD_ADDR) -mix mixed -duration 10s -concurrency 8 \
-		-preload 32 -out BENCH_load.json -fail-on-error; \
+		-preload 32 -trace-sample 0.01 -out BENCH_load.json -fail-on-error; \
+	$$tmp/benchgate -metrics http://$(LOAD_ADDR)/metricsz; \
 	kill $$pid; wait $$pid 2>/dev/null || true; \
-	$$tmp/dsvd -addr $(LOAD_ADDR) -multi -tenants-dir $$tmp/tenants -max-open $(LOAD_MAX_OPEN) & pid=$$!; \
+	$$tmp/dsvd -addr $(LOAD_ADDR) -multi -tenants-dir $$tmp/tenants -max-open $(LOAD_MAX_OPEN) -trace-sample 0.01 & pid=$$!; \
 	ok=""; for i in $$(seq 1 50); do \
 		if $$tmp/dsvload -addr http://$(LOAD_ADDR) -mix checkout -duration 0s -preload 1 -tenants 1 -out - >/dev/null 2>&1; then ok=1; break; fi; \
 		sleep 0.2; done; \
 	[ -n "$$ok" ] || { echo "dsvd -multi did not become healthy"; exit 1; }; \
 	$$tmp/dsvload -addr http://$(LOAD_ADDR) -mix mixed -duration 8s -concurrency 8 \
 		-tenants $(LOAD_TENANTS) -tenant-dist zipf -preload $(LOAD_TENANTS) \
-		-out BENCH_load_multi.json -fail-on-error; \
+		-trace-sample 0.01 -out BENCH_load_multi.json -fail-on-error; \
+	$$tmp/benchgate -metrics http://$(LOAD_ADDR)/metricsz; \
 	kill $$pid; wait $$pid 2>/dev/null || true

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/serve"
 	"repro/versioning"
 )
@@ -55,6 +56,18 @@ type Options struct {
 	// CoalesceMax flushes a pending batch early once it holds this many
 	// ids (0 = 128).
 	CoalesceMax int
+	// TraceSample sends a fresh X-DSV-Trace header on this fraction of
+	// requests (0 disables), forcing the server to record their traces
+	// regardless of its own sample rate. A request whose context already
+	// carries a trace span always sends the header, joining the server's
+	// spans to the caller's trace. Coalesced batch checkouts are never
+	// sampled: they aggregate many callers, so no single trace owns them.
+	TraceSample float64
+	// OnTrace, when set, is called (on the request goroutine) with the
+	// request path and the server's X-DSV-Trace-Id for every successful
+	// response that carried one — the hook dsvload uses to collect trace
+	// IDs for its per-phase latency breakdown (see Tracez).
+	OnTrace func(path, traceID string)
 }
 
 // Client talks to one dsvd daemon. Safe for concurrent use.
@@ -292,6 +305,15 @@ func (c *Client) statsPath(ctx context.Context, prefix string) (versioning.Repos
 func (c *Client) Statsz(ctx context.Context) (serve.Statsz, error) {
 	var out serve.Statsz
 	err := c.doJSON(ctx, http.MethodGet, "/statsz", nil, &out, true)
+	return out, err
+}
+
+// Tracez fetches the daemon's flight recorder snapshot: recent traces
+// plus retained per-endpoint outliers. Pair with Options.TraceSample or
+// OnTrace to look up specific requests by trace ID.
+func (c *Client) Tracez(ctx context.Context) (trace.Snapshot, error) {
+	var out trace.Snapshot
+	err := c.doJSON(ctx, http.MethodGet, "/tracez", nil, &out, true)
 	return out, err
 }
 

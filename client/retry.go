@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // retryable classifies one attempt's outcome.
@@ -28,9 +30,12 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, i
 	if err != nil {
 		return fmt.Errorf("dsvd: encoding %s %s: %w", method, path, err)
 	}
+	// The trace header is chosen once so every retry of one logical
+	// request lands in the same trace.
+	th := c.traceHeader(ctx)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		ae := c.attempt(ctx, method, path, body, out, idempotent)
+		ae := c.attempt(ctx, method, path, th, body, out, idempotent)
 		if ae.err == nil {
 			return nil
 		}
@@ -44,8 +49,22 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, i
 	}
 }
 
+// traceHeader picks the outgoing X-DSV-Trace value for one logical
+// request: a span already in ctx always joins its trace (distributed
+// tracing), otherwise Options.TraceSample decides whether to mint a
+// fresh trace ID that forces the server to record this request.
+func (c *Client) traceHeader(ctx context.Context) string {
+	if s := trace.FromContext(ctx); s != nil {
+		return s.Header()
+	}
+	if c.opt.TraceSample > 0 && rand.Float64() < c.opt.TraceSample {
+		return trace.NewTraceID()
+	}
+	return ""
+}
+
 // attempt runs one HTTP round trip under its own timeout.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, idempotent bool) attemptError {
+func (c *Client) attempt(ctx context.Context, method, path, traceHeader string, body []byte, out any, idempotent bool) attemptError {
 	actx, cancel := context.WithTimeout(ctx, c.opt.RequestTimeout)
 	defer cancel()
 	var rd *bytes.Reader
@@ -65,6 +84,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if traceHeader != "" {
+		req.Header.Set(trace.HeaderTrace, traceHeader)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Transport error: the caller's context expiring is terminal; a
@@ -79,6 +101,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		}
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode <= 299 && c.opt.OnTrace != nil {
+		if id := resp.Header.Get(trace.HeaderTraceID); id != "" {
+			c.opt.OnTrace(path, id)
+		}
+	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		apiErr := &APIError{Status: resp.StatusCode, Message: readErrorBody(resp)}
 		// A received error status means the request was not applied, so

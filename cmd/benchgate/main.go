@@ -1,5 +1,5 @@
-// Command benchgate is the CI bench-regression gate. It has two modes,
-// both exiting nonzero on regression:
+// Command benchgate is the CI bench-regression gate. It has three
+// modes, all exiting nonzero on failure:
 //
 // Microbenchmarks (-base/-head): compares two `go test -bench` outputs
 // (merge-base vs PR head) and fails when the geometric-mean slowdown
@@ -20,15 +20,29 @@
 // maintenance included — not just isolated functions.
 //
 //	benchgate -load-base BENCH_load_multi.json -load-head /tmp/head.json -threshold 1.25
+//
+// Metrics lint (-metrics): validates a Prometheus text exposition — a
+// file, or fetched live when the argument starts with http:// or
+// https:// — with the pure-Go checker in internal/metrics (a
+// promtool-equivalent for the subset this repo emits): family
+// contiguity, duplicate series, bucket monotonicity and cumulativity,
+// +Inf/_count agreement. The CI load-smoke job runs it against a live
+// daemon's /metricsz so a malformed exposition fails the PR.
+//
+//	benchgate -metrics http://localhost:8080/metricsz
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/benchparse"
 	"repro/internal/loadreport"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -37,11 +51,18 @@ func main() {
 		headPath  = flag.String("head", "", "bench output of the PR head")
 		loadBase  = flag.String("load-base", "", "baseline dsvload JSON report (e.g. the committed BENCH_load_multi.json)")
 		loadHead  = flag.String("load-head", "", "fresh dsvload JSON report to gate")
+		metricsIn = flag.String("metrics", "", "lint a Prometheus text exposition: a file path, or an http(s):// URL fetched live")
 		threshold = flag.Float64("threshold", 1.25, "max allowed slowdown (head/base): bench geomean, or per-mix commit p99 in load mode")
 	)
 	flag.Parse()
 	var err error
 	switch {
+	case *metricsIn != "":
+		if *basePath != "" || *headPath != "" || *loadBase != "" || *loadHead != "" {
+			err = fmt.Errorf("-metrics is a separate mode; drop the bench/load flags")
+		} else {
+			err = runMetrics(*metricsIn)
+		}
 	case *loadBase != "" || *loadHead != "":
 		if *basePath != "" || *headPath != "" {
 			err = fmt.Errorf("-base/-head and -load-base/-load-head are separate modes; pick one")
@@ -158,5 +179,35 @@ func runLoad(basePath, headPath string, threshold float64) error {
 		}
 		return fmt.Errorf("%d load regression(s)", len(failures))
 	}
+	return nil
+}
+
+// runMetrics lints one Prometheus text exposition, read from a file or
+// fetched from a live endpoint.
+func runMetrics(src string) error {
+	var r io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return fmt.Errorf("fetching %s: %w", src, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("fetching %s: status %s", src, resp.Status)
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		r = f
+	}
+	defer r.Close()
+	families, series, err := metrics.Lint(r)
+	if err != nil {
+		return fmt.Errorf("exposition lint failed for %s: %w", src, err)
+	}
+	fmt.Printf("metrics lint ok: %d families, %d series (%s)\n", families, series, src)
 	return nil
 }

@@ -48,23 +48,37 @@
 // latency/throughput counters are served at /statsz. Drive it with
 // cmd/dsvload (which speaks both modes; see -tenants).
 //
+// Observability: -trace-sample samples that fraction of requests into
+// end-to-end traces (clients can force one with an X-DSV-Trace
+// header regardless of the rate); the flight recorder keeps the last
+// traces plus per-endpoint tail outliers at GET /tracez, and SIGQUIT
+// dumps the same snapshot to the log. GET /metricsz serves every
+// internal histogram and counter in Prometheus text format,
+// -slow-log logs requests over a threshold with their trace IDs, and
+// -debug-addr serves net/http/pprof on a separate listener. -version
+// prints the embedded build identity and exits.
+//
 // -demo N preloads a seeded synthetic history of N commits so /checkout
 // and /plan have something to serve immediately (single-repo mode only).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/serve"
 	"repro/tenant"
 	"repro/versioning"
@@ -102,6 +116,12 @@ func run() error {
 		demo        = flag.Int("demo", 0, "preload a synthetic history of N commits (single-repo mode)")
 		demoSeed    = flag.Int64("demo-seed", 42, "seed for -demo")
 
+		version     = flag.Bool("version", false, "print the embedded build identity and exit")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests traced end-to-end (0 traces only client-forced requests; see /tracez)")
+		traceRecent = flag.Int("trace-recent", 0, "completed traces retained by the flight recorder ring (0 = default)")
+		slowLog     = flag.Duration("slow-log", 0, "log requests slower than this with their trace IDs (0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables)")
+
 		multi      = flag.Bool("multi", false, "serve a multi-tenant fleet under /t/{tenant}/...")
 		tenantsDir = flag.String("tenants-dir", "", "durable root for per-tenant data dirs (with -multi; empty serves tenants from memory)")
 		maxOpen    = flag.Int("max-open", tenant.DefaultMaxOpen, "max concurrently open tenant repositories (LRU-evicted beyond; negative disables eviction)")
@@ -111,10 +131,18 @@ func run() error {
 		quotaBurst = flag.Int("quota-commit-burst", 0, "per-tenant commit token-bucket capacity (0 = max(1, rate))")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get().String())
+		return nil
+	}
 	problem, err := core.ParseProblem(*problemStr)
 	if err != nil {
 		return err
 	}
+	// The tracer is constructed even at sample rate 0 so a client can
+	// always force a trace with an X-DSV-Trace header and read it back
+	// from /tracez.
+	tracer := trace.New(trace.Options{Sample: *traceSample, Recent: *traceRecent})
 	ropt := versioning.RepositoryOptions{
 		Problem:            problem,
 		Constraint:         *constraint,
@@ -141,6 +169,8 @@ func run() error {
 		MaxQueue:    *maxQueue,
 		QueueWait:   *queueWait,
 		RetryAfter:  *retryAfter,
+		Tracer:      tracer,
+		SlowRequest: *slowLog,
 	}
 	if *multi {
 		// Refuse single-repo flags that would otherwise be dropped
@@ -164,6 +194,7 @@ func run() error {
 			RootDir: *tenantsDir,
 			MaxOpen: mo,
 			Repo:    ropt,
+			Tracer:  tracer,
 			Quota: tenant.Quota{
 				MaxObjects:      *quotaObj,
 				MaxLogicalBytes: *quotaBytes,
@@ -201,6 +232,41 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGQUIT dumps the flight recorder — the same snapshot /tracez
+	// serves — without disturbing the process, for the case where the
+	// daemon is wedged enough that HTTP is not answering.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		for range quitCh {
+			buf, err := json.Marshal(tracer.Recorder().Snapshot())
+			if err != nil {
+				log.Printf("dsvd: flight recorder dump failed: %v", err)
+				continue
+			}
+			log.Printf("dsvd: flight recorder dump: %s", buf)
+		}
+	}()
+
+	if *debugAddr != "" {
+		// pprof gets its own listener so profiling traffic never competes
+		// with serving traffic for admission slots (and is never exposed
+		// on the public address).
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("dsvd: pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("dsvd: pprof listener: %v", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {

@@ -38,6 +38,13 @@
 // that exposes queueing collapse); arrivals that find all workers busy
 // and the backlog full are dropped and reported, so a drowning server
 // shows up as drops + shed 429s, not a stalled generator.
+//
+// -trace-sample F sends an X-DSV-Trace header on that fraction of
+// requests; after each mix the generator reads the traces back from
+// the daemon's flight recorder (GET /tracez) and folds the span
+// durations into a per-phase latency breakdown (trace_phases in the
+// report) — the server-side view of where each op's time went
+// (wal.fsync vs store.read vs admission), attributed per mix.
 package main
 
 import (
@@ -76,6 +83,7 @@ type config struct {
 	failOnErr   bool
 	tenants     int
 	tenantDist  string
+	traceSample float64
 }
 
 // validate rejects configurations that would silently measure
@@ -133,6 +141,7 @@ func main() {
 	flag.BoolVar(&cfg.failOnErr, "fail-on-error", false, "exit nonzero if any operation errored")
 	flag.IntVar(&cfg.tenants, "tenants", 0, "spread load across N tenants of a dsvd -multi daemon (0 = single-repo mode)")
 	flag.StringVar(&cfg.tenantDist, "tenant-dist", "zipf", "tenant popularity with -tenants: zipf|uniform")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0, "fraction of requests traced end-to-end; the report gains a per-phase server-side latency breakdown")
 	flag.Parse()
 	for _, m := range strings.Split(mixList, ",") {
 		cfg.mixes = append(cfg.mixes, strings.TrimSpace(m))
@@ -193,10 +202,17 @@ func runLoad(cfg config) (Report, error) {
 	if err := cfg.validate(); err != nil {
 		return Report{}, err
 	}
-	c := client.New(cfg.addr, client.Options{
+	var tc *traceCollector
+	copt := client.Options{
 		RequestTimeout: cfg.timeout,
 		CoalesceWindow: cfg.coalesce,
-	})
+	}
+	if cfg.traceSample > 0 {
+		tc = newTraceCollector()
+		copt.TraceSample = cfg.traceSample
+		copt.OnTrace = tc.note
+	}
+	c := client.New(cfg.addr, copt)
 	defer c.Close()
 	ctx := context.Background()
 	if _, err := c.Healthz(ctx); err != nil {
@@ -206,6 +222,11 @@ func runLoad(cfg config) (Report, error) {
 	targets, err := buildTargets(ctx, c, cfg, rng)
 	if err != nil {
 		return Report{}, err
+	}
+	// Preload commits may have been sampled too; discard them so the
+	// first mix's phase breakdown covers only its own operations.
+	if tc != nil {
+		tc.take()
 	}
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -222,8 +243,9 @@ func runLoad(cfg config) (Report, error) {
 		rep.CoalesceWindowMS = float64(cfg.coalesce) / float64(time.Millisecond)
 		rep.Coalescing = true
 	}
+	rep.TraceSample = cfg.traceSample
 	for i, mix := range cfg.mixes {
-		mr, err := runMix(targets, cfg, mix, cfg.seed+int64(i)*7919)
+		mr, err := runMix(c, tc, targets, cfg, mix, cfg.seed+int64(i)*7919)
 		if err != nil {
 			return rep, fmt.Errorf("mix %q: %w", mix, err)
 		}
@@ -312,7 +334,7 @@ type loadState struct {
 }
 
 // runMix drives one workload mix for cfg.duration and summarizes it.
-func runMix(targets []*target, cfg config, mix string, seed int64) (MixReport, error) {
+func runMix(c *client.Client, tc *traceCollector, targets []*target, cfg config, mix string, seed int64) (MixReport, error) {
 	ratio, err := mixRatio(cfg, mix)
 	if err != nil {
 		return MixReport{}, err
@@ -404,6 +426,9 @@ func runMix(targets []*target, cfg config, mix string, seed int64) (MixReport, e
 	merged.Merge(&st.checkoutHG)
 	merged.Merge(&st.commitHG)
 	mr.Latency = merged.Summary()
+	if tc != nil {
+		attachTracePhases(ctx, c, tc, &mr)
+	}
 	return mr, nil
 }
 

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/client"
+	"repro/internal/trace"
+)
+
+// maxCollectedTraces bounds the trace IDs held for post-mix matching.
+// The cap only limits how many traces can be matched against the
+// server's flight recorder, not how many were sampled — and the
+// recorder's own ring is far smaller, so nothing of value is lost.
+const maxCollectedTraces = 8192
+
+// traceCollector accumulates the trace IDs the server returns for
+// sampled requests (via the client's OnTrace hook), keyed by trace ID
+// with the op inferred from the request path. Drained once per mix.
+type traceCollector struct {
+	mu      sync.Mutex
+	ids     map[string]string // trace ID -> "commit" | "checkout"
+	sampled map[string]int64  // op -> sampled request count
+}
+
+func newTraceCollector() *traceCollector {
+	return &traceCollector{
+		ids:     make(map[string]string),
+		sampled: make(map[string]int64),
+	}
+}
+
+// note is the client.Options.OnTrace hook; it runs on request
+// goroutines, so it must stay cheap.
+func (tc *traceCollector) note(path, id string) {
+	var op string
+	switch {
+	case strings.Contains(path, "/commit"):
+		op = "commit"
+	case strings.Contains(path, "/checkout"):
+		op = "checkout"
+	default:
+		return
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.sampled[op]++
+	if len(tc.ids) < maxCollectedTraces {
+		tc.ids[id] = op
+	}
+}
+
+// take returns and resets the collected state, so each mix's phase
+// breakdown covers only its own operations.
+func (tc *traceCollector) take() (ids map[string]string, sampled map[string]int64) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	ids, sampled = tc.ids, tc.sampled
+	tc.ids = make(map[string]string)
+	tc.sampled = make(map[string]int64)
+	return ids, sampled
+}
+
+// attachTracePhases reads the daemon's flight recorder and folds the
+// span durations of every trace this mix sampled — and the recorder
+// still retains — into per-op, per-phase latency stats. A trace falls
+// out of the match when the recorder's ring evicted it, so
+// trace_matched <= trace_sampled; the phases of what remains are
+// still an unbiased view of where server-side time went.
+func attachTracePhases(ctx context.Context, c *client.Client, tc *traceCollector, mr *MixReport) {
+	ids, sampled := tc.take()
+	for op, n := range sampled {
+		rep := mr.PerOp[op]
+		rep.TraceSampled = n
+		mr.PerOp[op] = rep
+	}
+	if len(ids) == 0 {
+		return
+	}
+	snap, err := c.Tracez(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsvload: reading /tracez: %v\n", err)
+		return
+	}
+	type agg struct {
+		spans int64
+		total float64
+		max   float64
+	}
+	phases := make(map[string]map[string]*agg) // op -> span name -> agg
+	matched := make(map[string]int64)
+	for _, tds := range [][]trace.TraceData{snap.Recent, snap.Outliers} {
+		for _, td := range tds {
+			op, ok := ids[td.TraceID]
+			if !ok {
+				continue
+			}
+			delete(ids, td.TraceID) // a trace counts once even if retained twice
+			matched[op]++
+			pm := phases[op]
+			if pm == nil {
+				pm = make(map[string]*agg)
+				phases[op] = pm
+			}
+			for _, sp := range td.Spans {
+				if sp.Parent == 0 {
+					continue // the root span is the whole request, not a phase
+				}
+				a := pm[sp.Name]
+				if a == nil {
+					a = &agg{}
+					pm[sp.Name] = a
+				}
+				a.spans++
+				a.total += sp.DurationUS
+				if sp.DurationUS > a.max {
+					a.max = sp.DurationUS
+				}
+			}
+		}
+	}
+	for op, pm := range phases {
+		rep := mr.PerOp[op]
+		rep.TraceMatched = matched[op]
+		rep.TracePhases = make(map[string]PhaseStats, len(pm))
+		for name, a := range pm {
+			rep.TracePhases[name] = PhaseStats{
+				Spans:   a.spans,
+				MeanUS:  a.total / float64(a.spans),
+				MaxUS:   a.max,
+				TotalUS: a.total,
+			}
+		}
+		mr.PerOp[op] = rep
+	}
+}

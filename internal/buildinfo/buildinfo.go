@@ -1,0 +1,76 @@
+// Package buildinfo exposes the binary's identity — module version, Go
+// toolchain, and VCS revision — read once from the build metadata the
+// Go linker embeds. It feeds dsvd -version, /healthz, and the
+// Prometheus build_info gauge so every running daemon can be matched
+// to the exact commit that produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the embedded build identity of the running binary.
+type Info struct {
+	// Module is the main module path ("repro").
+	Module string `json:"module"`
+	// Version is the main module version, "(devel)" for local builds.
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, when built inside a checkout.
+	Revision string `json:"vcs_revision,omitempty"`
+	// Time is the VCS commit timestamp (RFC3339), when known.
+	Time string `json:"vcs_time,omitempty"`
+	// Dirty reports uncommitted changes in the build checkout.
+	Dirty bool `json:"vcs_dirty,omitempty"`
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get returns the build identity, reading it on first call.
+func Get() Info {
+	once.Do(func() {
+		cached = Info{Version: "(devel)", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		cached.Module = bi.Main.Path
+		if bi.Main.Version != "" {
+			cached.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cached.Revision = s.Value
+			case "vcs.time":
+				cached.Time = s.Value
+			case "vcs.modified":
+				cached.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return cached
+}
+
+// String renders a one-line human-readable identity for -version.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s %s", i.Module, i.Version, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Dirty {
+			s += " (dirty)"
+		}
+	}
+	return s
+}

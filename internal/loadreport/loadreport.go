@@ -27,9 +27,13 @@ type Report struct {
 	// Coalescing reports whether client-side batch coalescing was on
 	// (-coalesce >= 0). Off by default so latencies measure the server,
 	// not the client's batching window.
-	Coalescing       bool        `json:"coalescing"`
-	CoalesceWindowMS float64     `json:"coalesce_window_ms,omitempty"`
-	Mixes            []MixReport `json:"mixes"`
+	Coalescing       bool    `json:"coalescing"`
+	CoalesceWindowMS float64 `json:"coalesce_window_ms,omitempty"`
+	// TraceSample is the -trace-sample fraction of requests that carried
+	// a trace header; 0 means tracing was off and the per-phase
+	// breakdowns below are absent.
+	TraceSample float64     `json:"trace_sample,omitempty"`
+	Mixes       []MixReport `json:"mixes"`
 }
 
 // MixReport summarizes one workload mix.
@@ -56,6 +60,28 @@ type MixReport struct {
 type OpReport struct {
 	Ops     int64                  `json:"ops"`
 	Latency metrics.LatencySummary `json:"latency_us"`
+	// TraceSampled counts this op's requests that carried a trace
+	// header (dsvload -trace-sample); TraceMatched is how many of those
+	// traces were still retained by the server's flight recorder when
+	// the mix ended and could be read back for the phase breakdown.
+	TraceSampled int64 `json:"trace_sampled,omitempty"`
+	TraceMatched int64 `json:"trace_matched,omitempty"`
+	// TracePhases aggregates the matched traces' span durations by span
+	// name (wal.fsync, store.read, ...) — the server-side view of where
+	// this op's latency went.
+	TracePhases map[string]PhaseStats `json:"trace_phases,omitempty"`
+}
+
+// PhaseStats summarizes one span name's contribution across every
+// matched trace of an op.
+type PhaseStats struct {
+	// Spans is how many spans with this name were observed.
+	Spans int64 `json:"spans"`
+	// MeanUS and MaxUS summarize the individual span durations;
+	// TotalUS is their sum across all matched traces.
+	MeanUS  float64 `json:"mean_us"`
+	MaxUS   float64 `json:"max_us"`
+	TotalUS float64 `json:"total_us"`
 }
 
 // Load reads and decodes a report file.

@@ -1,0 +1,156 @@
+// Prometheus text exposition (version 0.0.4) rendering for the
+// package's histograms plus plain counters and gauges. It lives here
+// because Snapshot's bucket list is unexported: the renderer walks the
+// occupied log-linear buckets directly and emits them as cumulative
+// `le` buckets in seconds, which any Prometheus scraper can ingest
+// without knowing the HDR layout.
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Label is one Prometheus label pair. Values are escaped on render.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Expo accumulates a Prometheus text exposition. Families stay
+// contiguous as long as callers emit all series of one metric name in
+// consecutive calls (HELP/TYPE are written once per name, on first
+// use); the Lint function in this package enforces that property.
+type Expo struct {
+	buf   bytes.Buffer
+	typed map[string]string
+}
+
+// ContentType is the Content-Type for the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (e *Expo) header(name, help, typ string) {
+	if e.typed == nil {
+		e.typed = make(map[string]string)
+	}
+	if _, ok := e.typed[name]; ok {
+		return
+	}
+	e.typed[name] = typ
+	fmt.Fprintf(&e.buf, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+func (e *Expo) sample(name string, labels []Label, v float64) {
+	e.buf.WriteString(name)
+	if len(labels) > 0 {
+		e.buf.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				e.buf.WriteByte(',')
+			}
+			e.buf.WriteString(l.Name)
+			e.buf.WriteString(`="`)
+			e.buf.WriteString(escapeLabel(l.Value))
+			e.buf.WriteByte('"')
+		}
+		e.buf.WriteByte('}')
+	}
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(formatValue(v))
+	e.buf.WriteByte('\n')
+}
+
+// Counter emits one counter series.
+func (e *Expo) Counter(name, help string, v float64, labels ...Label) {
+	e.header(name, help, "counter")
+	e.sample(name, labels, v)
+}
+
+// Gauge emits one gauge series.
+func (e *Expo) Gauge(name, help string, v float64, labels ...Label) {
+	e.header(name, help, "gauge")
+	e.sample(name, labels, v)
+}
+
+// Histogram emits one histogram series set (cumulative buckets, _sum,
+// _count) from a Snapshot. Bucket bounds are the occupied log-linear
+// bucket uppers converted from nanoseconds to seconds; the mandatory
+// +Inf bucket always equals the observation count.
+func (e *Expo) Histogram(name, help string, snap Snapshot, labels ...Label) {
+	e.header(name, help, "histogram")
+	cum := uint64(0)
+	for _, bc := range snap.counts {
+		cum += bc.n
+		le := float64(bucketUpper(bc.idx)) / float64(time.Second)
+		e.sample(name+"_bucket", append(labels, Label{"le", formatValue(le)}), float64(cum))
+	}
+	e.sample(name+"_bucket", append(labels, Label{"le", "+Inf"}), float64(snap.Count))
+	e.sample(name+"_sum", labels, snap.Sum.Seconds())
+	e.sample(name+"_count", labels, float64(snap.Count))
+}
+
+// Bytes returns the exposition rendered so far.
+func (e *Expo) Bytes() []byte {
+	return e.buf.Bytes()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// SortedKeys returns m's keys sorted, a recurring need when emitting
+// one labeled series per map entry with deterministic output.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// L is shorthand for one Label, keeping call sites with several labels
+// readable.
+func L(name, value string) Label { return Label{Name: name, Value: value} }

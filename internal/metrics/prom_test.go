@@ -1,0 +1,250 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPromHistogramRendering pins the exposition contract for
+// histograms: le bounds strictly ascending, bucket counts cumulative,
+// the +Inf bucket equal to _count, and _sum in seconds.
+func TestPromHistogramRendering(t *testing.T) {
+	var h Histogram
+	durations := []time.Duration{
+		50 * time.Microsecond,
+		900 * time.Microsecond,
+		900 * time.Microsecond,
+		3 * time.Millisecond,
+		700 * time.Millisecond,
+	}
+	var sum time.Duration
+	for _, d := range durations {
+		h.Observe(d)
+		sum += d
+	}
+	var e Expo
+	e.Histogram("req_seconds", "Request latency.", h.Snapshot())
+	text := string(e.Bytes())
+
+	var (
+		prevLE, prevCum float64 = -1, -1
+		infCount                = -1.0
+		count                   = -1.0
+		gotSum                  = -1.0
+		buckets         int
+	)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "req_seconds_bucket"):
+			name, labels, v, err := parseSample(line)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			if name != "req_seconds_bucket" {
+				t.Fatalf("bucket sample name %q", name)
+			}
+			if labels["le"] == "+Inf" {
+				infCount = v
+				continue
+			}
+			le, err := strconv.ParseFloat(labels["le"], 64)
+			if err != nil {
+				t.Fatalf("bad le %q", labels["le"])
+			}
+			if le <= prevLE {
+				t.Fatalf("le bounds not ascending: %v after %v", le, prevLE)
+			}
+			if v < prevCum {
+				t.Fatalf("bucket counts not cumulative: %v after %v", v, prevCum)
+			}
+			prevLE, prevCum = le, v
+			buckets++
+		case strings.HasPrefix(line, "req_seconds_sum"):
+			_, _, v, _ := parseSample(line)
+			gotSum = v
+		case strings.HasPrefix(line, "req_seconds_count"):
+			_, _, v, _ := parseSample(line)
+			count = v
+		}
+	}
+	if buckets == 0 {
+		t.Fatal("no finite buckets rendered")
+	}
+	if count != float64(len(durations)) {
+		t.Fatalf("_count = %v, want %d", count, len(durations))
+	}
+	if infCount != count {
+		t.Fatalf("+Inf bucket %v != _count %v", infCount, count)
+	}
+	if want := sum.Seconds(); gotSum < want*0.999 || gotSum > want*1.001 {
+		t.Fatalf("_sum = %v, want ~%v seconds", gotSum, want)
+	}
+	// Every observation landed in some finite bucket here (all values
+	// are well under the histogram's top bucket), so the last finite
+	// cumulative count must already cover everything.
+	if prevCum != count {
+		t.Fatalf("last finite bucket %v, want %v", prevCum, count)
+	}
+	if _, _, err := Lint(bytes.NewReader(e.Bytes())); err != nil {
+		t.Fatalf("rendered histogram fails lint: %v", err)
+	}
+}
+
+// TestPromZeroSampleHistogram: a histogram with no observations still
+// renders a complete, lintable series set.
+func TestPromZeroSampleHistogram(t *testing.T) {
+	var h Histogram
+	var e Expo
+	e.Histogram("idle_seconds", "Never observed.", h.Snapshot())
+	text := string(e.Bytes())
+	for _, want := range []string{
+		`idle_seconds_bucket{le="+Inf"} 0`,
+		"idle_seconds_sum 0",
+		"idle_seconds_count 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	if _, _, err := Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("zero-sample histogram fails lint: %v", err)
+	}
+}
+
+// TestPromEscaping pins label and help escaping, and that the linter's
+// parser round-trips the escaped values.
+func TestPromEscaping(t *testing.T) {
+	var e Expo
+	e.Gauge("weird", "help with\nnewline and back\\slash", 1,
+		L("path", `C:\tmp`), L("msg", "a \"quoted\"\nline"))
+	text := string(e.Bytes())
+	if !strings.Contains(text, `# HELP weird help with\nnewline and back\\slash`) {
+		t.Fatalf("help not escaped:\n%s", text)
+	}
+	if !strings.Contains(text, `path="C:\\tmp"`) {
+		t.Fatalf("backslash not escaped:\n%s", text)
+	}
+	if !strings.Contains(text, `msg="a \"quoted\"\nline"`) {
+		t.Fatalf("quote/newline not escaped:\n%s", text)
+	}
+	if _, _, err := Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("escaped exposition fails lint: %v", err)
+	}
+	// The parser must recover the original values.
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "#") {
+			continue
+		}
+		_, labels, _, err := parseSample(sc.Text())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if labels["path"] != `C:\tmp` || labels["msg"] != "a \"quoted\"\nline" {
+			t.Fatalf("escape round-trip lost data: %+v", labels)
+		}
+	}
+}
+
+// TestPromHeaderOnce: HELP/TYPE are emitted once per family even
+// across many series.
+func TestPromHeaderOnce(t *testing.T) {
+	var e Expo
+	e.Counter("hits_total", "Hits.", 1, L("ep", "a"))
+	e.Counter("hits_total", "Hits.", 2, L("ep", "b"))
+	text := string(e.Bytes())
+	if n := strings.Count(text, "# TYPE hits_total"); n != 1 {
+		t.Fatalf("TYPE emitted %d times, want 1:\n%s", n, text)
+	}
+	families, series, err := Lint(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if families != 1 || series != 2 {
+		t.Fatalf("lint counted %d families / %d series, want 1/2", families, series)
+	}
+}
+
+// TestLintRejects drives the linter with the malformed expositions it
+// exists to catch.
+func TestLintRejects(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{
+			"no TYPE",
+			"orphan 1\n",
+			"no preceding # TYPE",
+		},
+		{
+			"duplicate series",
+			"# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"interleaved families",
+			"# TYPE a counter\na 1\n# TYPE b counter\nb 1\na{x=\"2\"} 2\n",
+			"not contiguous",
+		},
+		{
+			"descending le",
+			"# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\nh_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"not ascending",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"0.5\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"+Inf disagrees with _count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+			"!= _count",
+		},
+		{
+			"missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"missing +Inf",
+		},
+		{
+			"missing _sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"missing _sum",
+		},
+		{
+			"bucket after +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_bucket{le=\"2\"} 1\nh_sum 1\nh_count 1\n",
+			"after +Inf",
+		},
+		{
+			"duplicate TYPE",
+			"# TYPE a counter\na 1\n# TYPE a counter\n",
+			"duplicate TYPE",
+		},
+		{
+			// a_bucket exact-matches the counter family, so the histogram's
+			// bucket sample lands in the closed counter family.
+			"histogram suffix on counter",
+			"# TYPE a_bucket counter\na_bucket 1\n# TYPE a histogram\na_bucket{le=\"+Inf\"} 1\na_sum 1\na_count 1\n",
+			"not contiguous",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Lint(strings.NewReader(tc.text))
+			if err == nil {
+				t.Fatalf("lint accepted:\n%s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

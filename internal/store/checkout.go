@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // flightCall is an in-flight reconstruction other goroutines can join.
@@ -30,15 +31,20 @@ func (s *Store) Checkout(ctx context.Context, v graph.NodeID) ([]string, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, span := trace.StartSpan(ctx, "store.checkout")
+	defer span.End()
 	s.checkouts.Add(1)
 	if lines, ok := s.cache.get(v); ok {
 		s.cacheHits.Add(1)
+		span.SetAttr("cache", "hit")
 		return lines, nil
 	}
+	span.SetAttr("cache", "miss")
 	for {
 		s.flightMu.Lock()
 		if c, ok := s.flight[v]; ok {
 			s.flightMu.Unlock()
+			span.SetAttr("flight", "follower")
 			select {
 			case <-c.done:
 				if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
@@ -163,6 +169,9 @@ func (s *Store) tryReconstruct(ctx context.Context, v graph.NodeID) ([]string, e
 // fetchSnapshot materializes a snapshotted retrieval path: fetch (or
 // reuse) the base, then apply the edit scripts source -> v.
 func (s *Store) fetchSnapshot(ctx context.Context, v graph.NodeID, snap pathSnapshot) ([]string, error) {
+	_, span := trace.StartSpan(ctx, "store.read")
+	defer span.End()
+	span.SetAttrInt("deltas", int64(len(snap.deltas)))
 	base := snap.base
 	var err error
 	if base == nil {

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/metrics"
+	"repro/versioning"
+)
+
+// handleMetricsz renders the whole serving surface — process identity,
+// admission control, per-endpoint counters and latency histograms,
+// repository/WAL/maintenance stats (per open tenant in multi mode),
+// and fleet gauges — in Prometheus text exposition format. Everything
+// here is assembled from the same snapshots /statsz serves; this
+// endpoint only changes the encoding so standard scrapers can ingest
+// it. The format is pinned by metrics.Lint in CI (benchgate -metrics).
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	var e metrics.Expo
+
+	bi := buildinfo.Get()
+	e.Gauge("dsv_build_info", "Build identity of the running binary; the value is always 1.", 1,
+		metrics.L("module", bi.Module),
+		metrics.L("version", bi.Version),
+		metrics.L("go_version", bi.GoVersion),
+		metrics.L("revision", bi.Revision))
+	e.Gauge("dsv_uptime_seconds", "Seconds since the serving layer started.",
+		time.Since(s.start).Seconds())
+	e.Gauge("dsv_goroutines", "Live goroutines in the process.",
+		float64(runtime.NumGoroutine()))
+
+	adm := s.adm.stats()
+	e.Gauge("dsv_admission_capacity", "Admission slots (0 = limiter disabled).", float64(adm.Capacity))
+	e.Gauge("dsv_admission_in_flight", "Requests currently holding an admission slot.", float64(adm.InFlight))
+	e.Gauge("dsv_admission_queue_len", "Requests currently queued for a slot.", float64(adm.QueueLen))
+	e.Gauge("dsv_admission_queue_cap", "Admission queue capacity.", float64(adm.QueueCap))
+	e.Counter("dsv_admission_accepted_total", "Requests admitted.", float64(adm.Accepted))
+	e.Counter("dsv_admission_queued_total", "Requests that waited in the admission queue.", float64(adm.Queued))
+	const rejectedHelp = "Requests shed with 429, by reason."
+	e.Counter("dsv_admission_rejected_total", rejectedHelp, float64(adm.RejectedQueueFull), metrics.L("reason", "queue_full"))
+	e.Counter("dsv_admission_rejected_total", rejectedHelp, float64(adm.RejectedWait), metrics.L("reason", "wait_timeout"))
+	e.Counter("dsv_admission_rejected_total", rejectedHelp, float64(adm.RejectedCanceled), metrics.L("reason", "canceled"))
+
+	// Per-endpoint traffic. Snapshot under epMu first, then emit
+	// metric-major so each family stays contiguous across endpoints.
+	type epRow struct {
+		name                                 string
+		requests, errors, rejected, inFlight int64
+		latency                              metrics.Snapshot
+	}
+	s.epMu.Lock()
+	names := metrics.SortedKeys(s.endpoints)
+	rows := make([]epRow, 0, len(names))
+	for _, name := range names {
+		ep := s.endpoints[name]
+		rows = append(rows, epRow{
+			name:     name,
+			requests: ep.requests.Load(),
+			errors:   ep.errors.Load(),
+			rejected: ep.rejected.Load(),
+			inFlight: ep.inFlight.Load(),
+			latency:  ep.latency.Snapshot(),
+		})
+	}
+	s.epMu.Unlock()
+	for _, row := range rows {
+		e.Counter("dsv_requests_total", "Requests handled, including rejected ones.", float64(row.requests), metrics.L("endpoint", row.name))
+	}
+	for _, row := range rows {
+		e.Counter("dsv_request_errors_total", "Handler responses with status >= 400 (admission 429s excluded).", float64(row.errors), metrics.L("endpoint", row.name))
+	}
+	for _, row := range rows {
+		e.Counter("dsv_requests_rejected_total", "Requests shed by admission control before reaching the handler.", float64(row.rejected), metrics.L("endpoint", row.name))
+	}
+	for _, row := range rows {
+		e.Gauge("dsv_requests_in_flight", "Requests currently executing in the handler.", float64(row.inFlight), metrics.L("endpoint", row.name))
+	}
+	for _, row := range rows {
+		e.Histogram("dsv_request_duration_seconds", "Handler latency (admission wait included).", row.latency, metrics.L("endpoint", row.name))
+	}
+	e.Counter("dsv_checkout_coalesced_total", "Checkout requests served by piggybacking on an in-flight identical request.", float64(s.coalesced.Load()))
+
+	e.Counter("dsv_slow_requests_logged_total", "Slow-request log lines emitted.", float64(s.slowLogged.Load()))
+	e.Counter("dsv_slow_requests_suppressed_total", "Slow requests over the threshold whose log line was rate-limited away.", float64(s.slowSuppressed.Load()))
+	if s.tracer != nil {
+		e.Counter("dsv_traces_recorded_total", "Completed traces handed to the flight recorder.", float64(s.tracer.Recorder().Recorded()))
+	}
+
+	// Repository stats: one unlabeled series set in single-repo mode,
+	// one {tenant="..."} series per open tenant in multi mode. Emitted
+	// metric-major so families stay contiguous.
+	type repoRow struct {
+		labels []metrics.Label
+		st     versioning.RepositoryStats
+	}
+	var repos []repoRow
+	if s.mgr != nil {
+		stats := s.mgr.OpenStats()
+		for _, name := range metrics.SortedKeys(stats) {
+			repos = append(repos, repoRow{labels: []metrics.Label{metrics.L("tenant", name)}, st: stats[name]})
+		}
+	} else {
+		repos = append(repos, repoRow{st: s.def.repo.Stats()})
+	}
+	repoGauge := func(name, help string, get func(versioning.RepositoryStats) float64) {
+		for _, row := range repos {
+			e.Gauge(name, help, get(row.st), row.labels...)
+		}
+	}
+	repoCounter := func(name, help string, get func(versioning.RepositoryStats) float64) {
+		for _, row := range repos {
+			e.Counter(name, help, get(row.st), row.labels...)
+		}
+	}
+	repoGauge("dsv_repo_versions", "Versions in the repository.", func(st versioning.RepositoryStats) float64 { return float64(st.Versions) })
+	repoGauge("dsv_repo_deltas", "Candidate delta edges in the version graph.", func(st versioning.RepositoryStats) float64 { return float64(st.Deltas) })
+	repoGauge("dsv_repo_objects", "Content-addressed objects in the backend.", func(st versioning.RepositoryStats) float64 { return float64(st.Objects) })
+	repoGauge("dsv_repo_stored_bytes", "Bytes stored in the backend.", func(st versioning.RepositoryStats) float64 { return float64(st.StoredBytes) })
+	repoGauge("dsv_repo_blobs", "Materialized blob objects under the installed plan.", func(st versioning.RepositoryStats) float64 { return float64(st.Blobs) })
+	repoGauge("dsv_repo_stored_deltas", "Delta objects under the installed plan.", func(st versioning.RepositoryStats) float64 { return float64(st.StoredDeltas) })
+	repoGauge("dsv_repo_cached_versions", "Versions in the checkout LRU cache.", func(st versioning.RepositoryStats) float64 { return float64(st.CachedVersions) })
+	repoGauge("dsv_repo_commits_pending", "Commits since the last installed plan.", func(st versioning.RepositoryStats) float64 { return float64(st.CommitsPending) })
+	repoGauge("dsv_repo_storage_cost", "Installed plan storage cost.", func(st versioning.RepositoryStats) float64 { return float64(st.Storage) })
+	repoGauge("dsv_repo_sum_retrieval_cost", "Installed plan total retrieval cost.", func(st versioning.RepositoryStats) float64 { return float64(st.SumRetrieval) })
+	repoGauge("dsv_repo_max_retrieval_cost", "Installed plan worst-version retrieval cost.", func(st versioning.RepositoryStats) float64 { return float64(st.MaxRetrieval) })
+	repoCounter("dsv_repo_checkouts_total", "Store checkouts (cache hits included).", func(st versioning.RepositoryStats) float64 { return float64(st.Checkouts) })
+	repoCounter("dsv_repo_cache_hits_total", "Checkouts served from the LRU cache.", func(st versioning.RepositoryStats) float64 { return float64(st.CacheHits) })
+	repoCounter("dsv_repo_delta_applies_total", "Edit scripts applied during reconstructions.", func(st versioning.RepositoryStats) float64 { return float64(st.DeltaApplies) })
+	repoCounter("dsv_repo_plan_retries_total", "Checkouts re-snapshotted after racing a migration.", func(st versioning.RepositoryStats) float64 { return float64(st.PlanRetries) })
+	repoCounter("dsv_repo_replans_total", "Plans installed.", func(st versioning.RepositoryStats) float64 { return float64(st.Replans) })
+	repoCounter("dsv_repo_async_replans_total", "Background maintenance passes run.", func(st versioning.RepositoryStats) float64 { return float64(st.AsyncReplans) })
+	repoCounter("dsv_repo_replan_failures_total", "Failed re-plan passes.", func(st versioning.RepositoryStats) float64 { return float64(st.ReplanFailures) })
+	repoCounter("dsv_repo_migrations_total", "Store migrations completed.", func(st versioning.RepositoryStats) float64 { return float64(st.Migrations) })
+	repoCounter("dsv_repo_migration_seconds_total", "Wall time spent inside store migrations.", func(st versioning.RepositoryStats) float64 { return float64(st.MigrationMicros) / 1e6 })
+	repoCounter("dsv_wal_batches_total", "Group-commit batches written to the journal.", func(st versioning.RepositoryStats) float64 { return float64(st.WALBatches) })
+	repoCounter("dsv_wal_batched_commits_total", "Commits that rode a group-commit batch.", func(st versioning.RepositoryStats) float64 { return float64(st.WALBatchedCommits) })
+	repoGauge("dsv_wal_max_batch", "Largest group-commit batch observed.", func(st versioning.RepositoryStats) float64 { return float64(st.WALMaxBatch) })
+
+	if s.mgr != nil {
+		fs := s.mgr.Fleet(1)
+		e.Gauge("dsv_fleet_tenants", "Namespaces touched since boot.", float64(fs.Tenants))
+		e.Gauge("dsv_fleet_open", "Currently open tenant repositories.", float64(fs.Open))
+		e.Gauge("dsv_fleet_max_open", "Open-repository LRU bound.", float64(fs.MaxOpen))
+		e.Counter("dsv_fleet_opens_total", "Tenant repository opens.", float64(fs.Opens))
+		e.Counter("dsv_fleet_reopens_total", "Opens of previously evicted tenants.", float64(fs.Reopens))
+		e.Counter("dsv_fleet_evictions_total", "Tenant repositories closed by the LRU.", float64(fs.Evictions))
+		e.Counter("dsv_fleet_quota_denials_total", "Commits denied by per-tenant quotas.", float64(fs.QuotaDenials))
+		e.Counter("dsv_fleet_close_errors_total", "Tenant flushes that failed during eviction or shutdown.", float64(fs.CloseErrors))
+		// Per-tenant activity gauges, bounded to open tenants so the
+		// series cardinality tracks MaxOpen, not every namespace ever
+		// touched.
+		infos := s.mgr.Infos()
+		for _, info := range infos {
+			if !info.Open {
+				continue
+			}
+			e.Counter("dsv_tenant_commits_total", "Quota-admitted commit attempts (open tenants only).", float64(info.Commits), metrics.L("tenant", info.Name))
+		}
+		for _, info := range infos {
+			if !info.Open {
+				continue
+			}
+			e.Gauge("dsv_tenant_commit_rate", "EWMA commits/s (open tenants only).", info.CommitRate, metrics.L("tenant", info.Name))
+		}
+		for _, info := range infos {
+			if !info.Open {
+				continue
+			}
+			e.Counter("dsv_tenant_quota_denials_total", "Commits denied by quota (open tenants only).", float64(info.QuotaDenials), metrics.L("tenant", info.Name))
+		}
+	}
+
+	w.Header().Set("Content-Type", metrics.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(e.Bytes())
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/trace"
 	"repro/tenant"
 )
 
@@ -19,7 +20,9 @@ import (
 //	GET  /t/{tenant}/plan
 //	GET  /t/{tenant}/stats
 //	GET  /fleetz                     aggregate fleet stats
-//	GET  /statsz                     per-endpoint counters (+ fleet)
+//	GET  /statsz                     per-endpoint counters (+ fleet and per-tenant stats)
+//	GET  /metricsz                   Prometheus exposition (per-tenant labeled)
+//	GET  /tracez                     flight recorder snapshot
 //	GET  /healthz                    liveness probe
 //
 // Each request acquires a manager Handle for its tenant — lazily
@@ -45,6 +48,8 @@ func NewMulti(mgr *tenant.Manager, opt Options) *Server {
 	s.handleTenant("stats", "GET /t/{tenant}/stats", s.handleStats)
 	s.handle("fleetz", "GET /fleetz", s.handleFleetz, false)
 	s.handle("statsz", "GET /statsz", s.handleStatsz, false)
+	s.handle("metricsz", "GET /metricsz", s.handleMetricsz, false)
+	s.handle("tracez", "GET /tracez", s.handleTracez, false)
 	s.handle("healthz", "GET /healthz", s.handleHealthz, false)
 	return s
 }
@@ -55,7 +60,10 @@ func NewMulti(mgr *tenant.Manager, opt Options) *Server {
 func (s *Server) handleTenant(name, pattern string, h func(*repoState, http.ResponseWriter, *http.Request)) {
 	s.handle(name, pattern, func(w http.ResponseWriter, r *http.Request) {
 		tn := r.PathValue("tenant")
-		hdl, err := s.mgr.Acquire(r.Context(), tn)
+		actx, asp := trace.StartSpan(r.Context(), "tenant.acquire")
+		asp.SetAttr("tenant", tn)
+		hdl, err := s.mgr.Acquire(actx, tn)
+		asp.End()
 		if err != nil {
 			writeJSON(w, acquireErrStatus(err), errorResponse{Error: err.Error()})
 			return

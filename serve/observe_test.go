@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/tenant"
+	"repro/versioning"
+)
+
+// The end-to-end client→NewMulti trace-propagation test lives in
+// package client (client_test): client imports serve, so it cannot be
+// exercised from here without an import cycle.
+
+// TestMetricszLint scrapes /metricsz in both serving modes and runs
+// the exposition through the promtool-equivalent linter — the same
+// check CI's load-smoke applies to a live daemon.
+func TestMetricszLint(t *testing.T) {
+	t.Run("single", func(t *testing.T) {
+		repo := versioning.NewRepository("m", versioning.RepositoryOptions{
+			ReplanEvery:   -1,
+			EngineOptions: versioning.EngineOptions{SolverTimeout: 10 * time.Second, DisableILP: true},
+		})
+		srv := New(repo, Options{Tracer: trace.New(trace.Options{Sample: 1})})
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		mustPost(t, ts.URL+"/commit", map[string]any{"parent": -1, "lines": []string{"a"}})
+		mustGet(t, ts.URL+"/checkout/0")
+		families, series, text := lintMetricsz(t, ts.URL)
+		if families < 20 || series < 25 {
+			t.Fatalf("suspiciously small exposition: %d families, %d series\n%s", families, series, text)
+		}
+		for _, want := range []string{"dsv_build_info", "dsv_request_duration_seconds_bucket", "dsv_repo_versions", "dsv_traces_recorded_total"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("missing %s in exposition", want)
+			}
+		}
+	})
+	t.Run("multi", func(t *testing.T) {
+		mgr := testManager(t, t.TempDir(), tenant.Options{
+			Repo: versioning.RepositoryOptions{GroupCommit: true},
+		})
+		ts := multiServer(t, mgr, Options{})
+		for _, tn := range []string{"alice", "bob"} {
+			mustPost(t, ts.URL+"/t/"+tn+"/commit", map[string]any{"parent": -1, "lines": []string{"a"}})
+			mustGet(t, ts.URL+"/t/"+tn+"/checkout/0")
+		}
+		_, _, text := lintMetricsz(t, ts.URL)
+		for _, want := range []string{
+			`dsv_repo_versions{tenant="alice"}`,
+			`dsv_tenant_commits_total{tenant="bob"}`,
+			"dsv_fleet_open",
+			"dsv_wal_batches_total",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("missing %s in multi exposition", want)
+			}
+		}
+	})
+}
+
+func lintMetricsz(t *testing.T, base string) (families, series int, text string) {
+	t.Helper()
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != metrics.ContentType {
+		t.Fatalf("Content-Type %q, want %q", got, metrics.ContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text = string(raw)
+	families, series, err = metrics.Lint(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("metricsz lint: %v\n%s", err, text)
+	}
+	return families, series, text
+}
+
+// TestStatszTenants pins the multi-mode /statsz per-tenant section:
+// every open tenant reports full repository stats, WAL batching
+// counters included.
+func TestStatszTenants(t *testing.T) {
+	mgr := testManager(t, t.TempDir(), tenant.Options{
+		Repo: versioning.RepositoryOptions{GroupCommit: true},
+	})
+	ts := multiServer(t, mgr, Options{})
+	mustPost(t, ts.URL+"/t/alice/commit", map[string]any{"parent": -1, "lines": []string{"a"}})
+	mustPost(t, ts.URL+"/t/alice/commit", map[string]any{"parent": 0, "lines": []string{"a", "b"}})
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Statsz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	alice, ok := st.Tenants["alice"]
+	if !ok {
+		t.Fatalf("statsz tenants missing alice: %+v", st.Tenants)
+	}
+	if alice.Versions != 2 {
+		t.Fatalf("alice versions = %d, want 2", alice.Versions)
+	}
+	if alice.WALBatches < 1 || alice.WALBatchedCommits < 1 {
+		t.Fatalf("alice WAL batching counters empty: %+v", alice)
+	}
+}
+
+// TestSlowRequestLog pins the threshold-gated slow-request log: over
+// the threshold logs a line carrying the trace ID; the 100ms rate
+// limit suppresses an immediate second line but counts it.
+func TestSlowRequestLog(t *testing.T) {
+	repo := versioning.NewRepository("slow", versioning.RepositoryOptions{
+		ReplanEvery:   -1,
+		EngineOptions: versioning.EngineOptions{SolverTimeout: 10 * time.Second, DisableILP: true},
+	})
+	srv := New(repo, Options{
+		Tracer:      trace.New(trace.Options{Sample: 1}),
+		SlowRequest: time.Nanosecond, // everything is slow
+	})
+	var mu sync.Mutex
+	var lines []string
+	srv.logf = func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, format)
+		_ = args
+		mu.Unlock()
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	mustPost(t, ts.URL+"/commit", map[string]any{"parent": -1, "lines": []string{"a"}})
+	mustGet(t, ts.URL+"/checkout/0")
+
+	mu.Lock()
+	n := len(lines)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("logged %d slow lines, want 1 (rate limit)", n)
+	}
+	if !strings.Contains(lines[0], "slow request") || !strings.Contains(lines[0], "trace_id") {
+		t.Fatalf("slow log format %q", lines[0])
+	}
+	if srv.slowLogged.Load() != 1 || srv.slowSuppressed.Load() < 1 {
+		t.Fatalf("slow counters logged=%d suppressed=%d", srv.slowLogged.Load(), srv.slowSuppressed.Load())
+	}
+	// The disabled path stays silent.
+	if srv2 := New(repo, Options{}); srv2.slowReq != 0 {
+		t.Fatal("SlowRequest default not disabled")
+	}
+}
+
+// TestHealthzBuildInfo: /healthz reports the embedded build identity.
+func TestHealthzBuildInfo(t *testing.T) {
+	repo := versioning.NewRepository("b", versioning.RepositoryOptions{
+		ReplanEvery:   -1,
+		EngineOptions: versioning.EngineOptions{SolverTimeout: 10 * time.Second, DisableILP: true},
+	})
+	ts := httptest.NewServer(New(repo, Options{}))
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Build struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Build.GoVersion == "" {
+		t.Fatal("healthz build info missing go_version")
+	}
+}
+
+func mustPost(t *testing.T, url string, body any) {
+	t.Helper()
+	ok, status := tryPostJSON(url, body, nil)
+	if !ok || status != http.StatusOK {
+		t.Fatalf("POST %s: ok=%v status=%d", url, ok, status)
+	}
+}
+
+func mustGet(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+}

@@ -10,7 +10,9 @@
 //	GET  /plan           -> versioning.PlanSummary
 //	GET  /stats          -> versioning.RepositoryStats
 //	GET  /statsz         -> Statsz: per-endpoint latency/throughput counters
-//	GET  /healthz        liveness probe
+//	GET  /metricsz       -> Prometheus text exposition of every counter/histogram
+//	GET  /tracez         -> flight recorder: recent + outlier traces (JSON)
+//	GET  /healthz        liveness probe (includes build identity)
 //
 // Multi-tenant endpoints (NewMulti, see multi.go) move the repository
 // routes under /t/{tenant}/... and add GET /fleetz.
@@ -29,7 +31,14 @@
 //     manager evicts the tenant, so a reopened tenant can never be
 //     served from a stale flight.
 //   - Per-endpoint metrics: request/error counts and log-linear latency
-//     histograms (internal/metrics) surfaced by /statsz.
+//     histograms (internal/metrics) surfaced by /statsz and, in
+//     Prometheus exposition format, by /metricsz.
+//   - Request tracing (Options.Tracer): sampled — or client-forced via
+//     the X-DSV-Trace header — requests record a span tree through
+//     admission, singleflight, tenant acquire/open, commit journaling,
+//     and store reads into a bounded flight recorder served at /tracez;
+//     requests slower than Options.SlowRequest additionally emit a
+//     rate-limited log line carrying the trace ID.
 //
 // The package is importable so cmd/dsvd, the load generator's tests,
 // and examples can all run the exact production handler stack. Every
@@ -43,6 +52,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -50,7 +60,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/tenant"
 	"repro/versioning"
 )
@@ -75,6 +87,15 @@ type Options struct {
 	// deadline is what stops a hung backend from pinning the flight, its
 	// admission slot, and every piggybacked follower forever.
 	CheckoutTimeout time.Duration
+	// Tracer enables request tracing on the rate-limited endpoints (the
+	// probes are never traced). nil disables tracing entirely; a tracer
+	// with Sample 0 still records requests that arrive with an
+	// X-DSV-Trace header, which is how clients force end-to-end traces.
+	Tracer *trace.Tracer
+	// SlowRequest, when positive, logs requests slower than this
+	// threshold (rate-limited to one line per 100ms) with their trace
+	// IDs. 0 disables the slow log.
+	SlowRequest time.Duration
 }
 
 // repoState is the serving hot state for one open repository: in
@@ -108,6 +129,13 @@ type Server struct {
 	checkoutTimeout time.Duration
 	coalesced       atomic.Int64 // follower requests served by a shared flight
 
+	tracer         *trace.Tracer
+	slowReq        time.Duration
+	slowLogLast    atomic.Int64 // unix nanos of the last slow-log line
+	slowLogged     atomic.Int64
+	slowSuppressed atomic.Int64
+	logf           func(format string, args ...any)
+
 	def *repoState      // single-repo mode (nil in multi mode)
 	mgr *tenant.Manager // multi-tenant mode (nil in single mode)
 
@@ -134,6 +162,8 @@ func New(repo *versioning.Repository, opt Options) *Server {
 	// Probes bypass admission control: an overloaded server must still
 	// answer its orchestrator and expose its own counters.
 	s.handle("statsz", "GET /statsz", s.handleStatsz, false)
+	s.handle("metricsz", "GET /metricsz", s.handleMetricsz, false)
+	s.handle("tracez", "GET /tracez", s.handleTracez, false)
 	s.handle("healthz", "GET /healthz", s.handleHealthz, false)
 	return s
 }
@@ -148,6 +178,9 @@ func newServer(opt Options) *Server {
 		adm:             newLimiter(opt),
 		start:           time.Now(),
 		checkoutTimeout: opt.CheckoutTimeout,
+		tracer:          opt.Tracer,
+		slowReq:         opt.SlowRequest,
+		logf:            log.Printf,
 		tenants:         make(map[string]*repoState),
 		endpoints:       make(map[string]*endpointMetrics),
 	}
@@ -185,15 +218,29 @@ func (s *Server) handle(name, pattern string, h http.HandlerFunc, limited bool) 
 	s.endpoints[name] = ep
 	s.epMu.Unlock()
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		if limited && !s.adm.acquire(r.Context()) {
-			ep.requests.Add(1)
-			ep.rejected.Add(1)
-			w.Header().Set("Retry-After", s.adm.retryAfterHeader)
-			writeJSON(w, http.StatusTooManyRequests,
-				errorResponse{Error: "server overloaded, retry later"})
-			return
+		var span *trace.Span
+		if limited && s.tracer != nil {
+			tctx, sp := s.tracer.StartRequest(r.Context(), name, r.Header.Get(trace.HeaderTrace))
+			if sp != nil {
+				span = sp
+				w.Header().Set(trace.HeaderTraceID, sp.TraceID())
+				r = r.WithContext(tctx)
+			}
 		}
 		if limited {
+			_, asp := trace.StartSpan(r.Context(), "admission")
+			ok := s.adm.acquire(r.Context())
+			asp.End()
+			if !ok {
+				ep.requests.Add(1)
+				ep.rejected.Add(1)
+				w.Header().Set("Retry-After", s.adm.retryAfterHeader)
+				writeJSON(w, http.StatusTooManyRequests,
+					errorResponse{Error: "server overloaded, retry later"})
+				span.SetAttrInt("status", http.StatusTooManyRequests)
+				span.End()
+				return
+			}
 			defer s.adm.release()
 		}
 		ep.inFlight.Add(1)
@@ -203,15 +250,41 @@ func (s *Server) handle(name, pattern string, h http.HandlerFunc, limited bool) 
 		// mid-write disconnect) cannot leak the in-flight gauge or skip
 		// the counters — net/http recovers the panic above us.
 		defer func() {
-			ep.latency.Observe(time.Since(start))
+			d := time.Since(start)
+			ep.latency.Observe(d)
 			ep.inFlight.Add(-1)
 			ep.requests.Add(1)
 			if sw.status >= 400 {
 				ep.errors.Add(1)
 			}
+			span.SetAttrInt("status", int64(sw.status))
+			span.End()
+			s.maybeLogSlow(name, sw.status, d, span)
 		}()
 		h(sw, r)
 	})
+}
+
+// maybeLogSlow emits one structured log line for a request slower than
+// Options.SlowRequest, rate-limited to one line per 100ms so a
+// saturated server records evidence instead of amplifying its own
+// overload (suppressed lines are counted and reported on the next
+// line). When the request was traced the line carries its trace ID,
+// linking the log entry to the full span tree on /tracez.
+func (s *Server) maybeLogSlow(name string, status int, d time.Duration, span *trace.Span) {
+	if s.slowReq <= 0 || d < s.slowReq {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := s.slowLogLast.Load()
+	if now-last < int64(100*time.Millisecond) || !s.slowLogLast.CompareAndSwap(last, now) {
+		s.slowSuppressed.Add(1)
+		return
+	}
+	s.slowLogged.Add(1)
+	suppressed := s.slowSuppressed.Swap(0)
+	s.logf("serve: slow request endpoint=%s status=%d duration_us=%d threshold=%s trace_id=%q suppressed=%d",
+		name, status, d.Microseconds(), s.slowReq, span.TraceID(), suppressed)
 }
 
 // statusWriter captures the response status for the error counters.
@@ -232,12 +305,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":       "ok",
 			"tenants_open": s.mgr.OpenCount(),
+			"build":        buildinfo.Get(),
 		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"versions": s.def.repo.Versions(),
+		"build":    buildinfo.Get(),
 	})
 }
 
@@ -341,6 +416,8 @@ func (s *Server) checkoutShared(st *repoState, ctx context.Context, id versionin
 	if f, ok := st.flights[id]; ok {
 		st.flightMu.Unlock()
 		s.coalesced.Add(1)
+		_, fsp := trace.StartSpan(ctx, "singleflight.follower")
+		defer fsp.End()
 		select {
 		case <-f.done:
 			return f.lines, f.err
@@ -351,9 +428,13 @@ func (s *Server) checkoutShared(st *repoState, ctx context.Context, id versionin
 	f := &flight{done: make(chan struct{})}
 	st.flights[id] = f
 	st.flightMu.Unlock()
-	fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.checkoutTimeout)
+	// context.WithoutCancel keeps context values — the request's trace
+	// span included — so the store's spans still nest under the leader.
+	lctx, lsp := trace.StartSpan(ctx, "singleflight.leader")
+	fctx, cancel := context.WithTimeout(context.WithoutCancel(lctx), s.checkoutTimeout)
 	f.lines, f.err = st.repo.Checkout(fctx, id)
 	cancel()
+	lsp.End()
 	st.flightMu.Lock()
 	// Guarded delete: Server.Close may have swapped the flight map while
 	// we ran, and a successor flight for the same id must not be evicted

@@ -29,15 +29,35 @@ type EndpointStats struct {
 
 // Statsz is the /statsz response: the server-side observability surface
 // the client, dsvload, and the CI load-smoke job read. Repo is
-// populated in single-repository mode, Fleet in multi-tenant mode.
+// populated in single-repository mode; Fleet and Tenants in
+// multi-tenant mode.
 type Statsz struct {
-	UptimeSeconds float64                    `json:"uptime_seconds"`
-	Goroutines    int                        `json:"goroutines"`
-	GoVersion     string                     `json:"go_version"`
-	Admission     AdmissionStats             `json:"admission"`
-	Endpoints     map[string]EndpointStats   `json:"endpoints"`
-	Repo          versioning.RepositoryStats `json:"repo"`
-	Fleet         *tenant.FleetStats         `json:"fleet,omitempty"`
+	// UptimeSeconds is time since the serving layer (not the process)
+	// started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Goroutines is the live goroutine count, a cheap saturation signal.
+	Goroutines int `json:"goroutines"`
+	// GoVersion is the runtime that built the binary (see /healthz for
+	// the full build identity).
+	GoVersion string `json:"go_version"`
+	// Admission is the limiter's state: capacity, queue depth, and
+	// accept/queue/reject counters split by rejection reason.
+	Admission AdmissionStats `json:"admission"`
+	// Endpoints maps endpoint name (commit, checkout, ...) to its
+	// traffic counters and latency summary.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	// Repo is the single repository's full stats — plan costs, WAL
+	// batching (wal_batches/wal_max_batch), maintenance counters, store
+	// cache traffic — in single-repo mode; zero in multi mode.
+	Repo versioning.RepositoryStats `json:"repo"`
+	// Fleet is the aggregate multi-tenant view: open/eviction/quota
+	// counters plus top-k tenants by size and activity.
+	Fleet *tenant.FleetStats `json:"fleet,omitempty"`
+	// Tenants maps every currently open tenant to its full
+	// RepositoryStats — the same per-repo detail Repo carries in
+	// single mode, WAL batching and maintenance counters included.
+	// Evicted tenants are absent; their last-known sizes live in Fleet.
+	Tenants map[string]versioning.RepositoryStats `json:"tenants,omitempty"`
 }
 
 // StatszSnapshot assembles the full serving snapshot (also available to
@@ -53,6 +73,7 @@ func (s *Server) StatszSnapshot() Statsz {
 	if s.mgr != nil {
 		fleet := s.mgr.Fleet(5)
 		out.Fleet = &fleet
+		out.Tenants = s.mgr.OpenStats()
 	} else {
 		out.Repo = s.def.repo.Stats()
 	}

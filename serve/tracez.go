@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/trace"
+)
+
+// handleTracez serves the flight recorder: the last N completed traces
+// plus the retained per-endpoint tail outliers (see trace.Snapshot).
+// `?id=<trace-id>` narrows the response to one trace — the lookup a
+// client makes after reading the X-DSV-Trace-Id response header or a
+// slow-request log line. With no tracer configured it serves an empty
+// snapshot rather than 404, so dashboards can scrape unconditionally.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeJSON(w, http.StatusOK, trace.Snapshot{})
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		td, ok := s.tracer.Recorder().Find(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound,
+				errorResponse{Error: "trace " + id + " not retained (evicted or never recorded)"})
+			return
+		}
+		writeJSON(w, http.StatusOK, trace.Snapshot{Recorded: 1, Recent: []trace.TraceData{td}})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tracer.Recorder().Snapshot())
+}

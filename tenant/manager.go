@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/versioning"
 )
 
@@ -38,6 +39,10 @@ type Options struct {
 	// Quota applies to every tenant (per-tenant accounting, shared
 	// limits). Zero fields are unlimited.
 	Quota Quota
+	// Tracer, when non-nil, records tenant lifecycle spans: opens attach
+	// to the acquiring request's trace, and evictions start their own
+	// sampled "tenant.evict" traces covering the flush-and-close I/O.
+	Tracer *trace.Tracer
 }
 
 // entry lifecycle states. Transitions: opening → open → closing →
@@ -186,7 +191,7 @@ func (m *Manager) Acquire(ctx context.Context, name string) (*Handle, error) {
 		}
 		e, ok := m.entries[name]
 		if !ok {
-			return m.openLocked(name)
+			return m.openLocked(ctx, name)
 		}
 		switch e.state {
 		case stateOpen:
@@ -208,13 +213,19 @@ func (m *Manager) Acquire(ctx context.Context, name string) (*Handle, error) {
 // open (journal replay is I/O) and re-acquiring it to publish. The
 // placeholder entry in stateOpening makes concurrent Acquires wait
 // instead of double-opening the same data directory.
-func (m *Manager) openLocked(name string) (*Handle, error) {
+func (m *Manager) openLocked(ctx context.Context, name string) (*Handle, error) {
 	e := &entry{name: name, state: stateOpening}
 	m.entries[name] = e
 	ts := m.statsFor(name)
 	reopen := ts.opened
 	m.mu.Unlock()
+	_, sp := trace.StartSpan(ctx, "tenant.open")
+	sp.SetAttr("tenant", name)
+	if reopen {
+		sp.SetAttr("reopen", "true")
+	}
 	repo, err := m.openRepo(name)
+	sp.End()
 	m.mu.Lock()
 	if err != nil {
 		delete(m.entries, name)
@@ -313,8 +324,14 @@ func (m *Manager) lruIdleLocked() *entry {
 // counted in FleetStats.CloseErrors) and returned to the caller. No
 // manager locks are held.
 func (m *Manager) closeEntry(e *entry) error {
+	_, sp := m.opt.Tracer.StartRequest(context.Background(), "tenant.evict", "")
+	sp.SetAttr("tenant", e.name)
 	st := e.repo.Stats()
 	cerr := e.repo.Close()
+	if cerr != nil {
+		sp.SetAttr("error", cerr.Error())
+	}
+	sp.End()
 	m.mu.Lock()
 	ts := m.statsFor(e.name)
 	ts.objects = st.Objects
@@ -500,6 +517,27 @@ func (m *Manager) Fleet(topK int) FleetStats {
 		Evictions:     m.evictions,
 		CloseErrors:   m.closeErrors,
 	}
+	m.mu.Unlock()
+	infos := m.tenantInfos(now)
+	for _, info := range infos {
+		fs.QuotaDenials += info.QuotaDenials
+	}
+	fs.TopByObjects = topBy(infos, topK, func(a, b TenantInfo) bool { return a.Objects > b.Objects })
+	fs.TopByBytes = topBy(infos, topK, func(a, b TenantInfo) bool { return a.LogicalBytes > b.LogicalBytes })
+	fs.TopByCommitRate = topBy(infos, topK, func(a, b TenantInfo) bool { return a.CommitRate > b.CommitRate })
+	return fs
+}
+
+// Infos snapshots every namespace touched since boot, sorted by name:
+// live measurements for open tenants (taken outside the manager lock,
+// the same discipline as Fleet), last-eviction snapshots for closed
+// ones. It backs the per-tenant gauges on /metricsz.
+func (m *Manager) Infos() []TenantInfo {
+	return m.tenantInfos(m.now())
+}
+
+func (m *Manager) tenantInfos(now time.Time) []TenantInfo {
+	m.mu.Lock()
 	infos := make([]TenantInfo, 0, len(m.stats))
 	type liveRepo struct {
 		idx  int
@@ -518,7 +556,6 @@ func (m *Manager) Fleet(topK int) FleetStats {
 			QuotaDenials: ts.quotaDenes,
 			CloseError:   ts.closeErr,
 		}
-		fs.QuotaDenials += ts.quotaDenes
 		if e, ok := m.entries[name]; ok && e.state == stateOpen {
 			info.Open = true
 			live = append(live, liveRepo{idx: len(infos), repo: e.repo})
@@ -536,10 +573,29 @@ func (m *Manager) Fleet(topK int) FleetStats {
 		infos[lr.idx].LogicalBytes = int64(st.FullStorage)
 		infos[lr.idx].StoredBytes = st.StoredBytes
 	}
-	fs.TopByObjects = topBy(infos, topK, func(a, b TenantInfo) bool { return a.Objects > b.Objects })
-	fs.TopByBytes = topBy(infos, topK, func(a, b TenantInfo) bool { return a.LogicalBytes > b.LogicalBytes })
-	fs.TopByCommitRate = topBy(infos, topK, func(a, b TenantInfo) bool { return a.CommitRate > b.CommitRate })
-	return fs
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// OpenStats snapshots the full RepositoryStats of every currently open
+// tenant, keyed by name, for the multi-tenant /statsz and /metricsz
+// views. Repositories are measured outside the manager lock so a slow
+// tenant cannot stall Acquire; a tenant evicted between the two steps
+// still reports (Stats serves on closed repositories).
+func (m *Manager) OpenStats() map[string]versioning.RepositoryStats {
+	m.mu.Lock()
+	repos := make(map[string]*versioning.Repository, len(m.entries))
+	for name, e := range m.entries {
+		if e.state == stateOpen {
+			repos[name] = e.repo
+		}
+	}
+	m.mu.Unlock()
+	out := make(map[string]versioning.RepositoryStats, len(repos))
+	for name, repo := range repos {
+		out[name] = repo.Stats()
+	}
+	return out
 }
 
 // topBy selects the k greatest infos under more (ties broken by name

@@ -566,7 +566,7 @@ func TestGroupCommitJournalPrefixReplay(t *testing.T) {
 		w.seal()
 	}
 	// One leader writes all five records as a single batch.
-	if err := w.waitDurable(n); err != nil {
+	if err := w.waitDurable(context.Background(), n); err != nil {
 		t.Fatal(err)
 	}
 	if got := w.batches.Load(); got != 1 {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/plan"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // NoParent commits a version with no parent (the first commit, or an
@@ -342,8 +343,10 @@ func (r *Repository) Commit(ctx context.Context, parent NodeID, lines []string) 
 		if int(parent) < 0 || int(parent) >= r.Versions() {
 			return 0, fmt.Errorf("versioning: commit parent %d does not exist (have %d versions)", parent, r.Versions())
 		}
-		parentLines, err := r.st.Checkout(ctx, parent)
+		dctx, dspan := trace.StartSpan(ctx, "commit.diff")
+		parentLines, err := r.st.Checkout(dctx, parent)
 		if err != nil {
+			dspan.End()
 			return 0, fmt.Errorf("versioning: reconstructing commit parent %d: %w", parent, err)
 		}
 		fwd := diff.Compute(parentLines, lines)
@@ -351,9 +354,12 @@ func (r *Repository) Commit(ctx context.Context, parent NodeID, lines []string) 
 		rec.fwdStorage, rec.fwdRetr = fwd.StorageCost(), fwd.StorageCost()
 		rec.revStorage, rec.revRetr = rev.StorageCost(), rev.StorageCost()
 		rec.delta = fwd
+		dspan.End()
 	}
 
+	_, lspan := trace.StartSpan(ctx, "commit.lock")
 	r.commitMu.Lock()
+	lspan.End()
 	if r.closed {
 		r.commitMu.Unlock()
 		return 0, ErrClosed
@@ -367,7 +373,7 @@ func (r *Repository) Commit(ctx context.Context, parent NodeID, lines []string) 
 	} else {
 		apply = func() error { return r.applyChild(v, parent, rec.delta, lines, rec) }
 	}
-	wait, err := r.commitJournaled(rec, apply)
+	wait, err := r.commitJournaled(ctx, rec, apply)
 	r.commitMu.Unlock()
 	if err != nil {
 		return 0, err
@@ -382,7 +388,9 @@ func (r *Repository) Commit(ctx context.Context, parent NodeID, lines []string) 
 			return 0, fmt.Errorf("versioning: journaling commit %d: %w (repository closed)", v, err)
 		}
 	}
+	_, mspan := trace.StartSpan(ctx, "maintenance.trigger")
 	r.maybeReplan(ctx)
+	mspan.End()
 	return v, nil
 }
 
@@ -398,27 +406,35 @@ func (r *Repository) Commit(ctx context.Context, parent NodeID, lines []string) 
 // already durable on return (wait is nil), and if even the rollback
 // truncation fails the repository closes itself rather than let the
 // journal and the live state diverge.
-func (r *Repository) commitJournaled(rec walRecord, apply func() error) (wait func() error, err error) {
+func (r *Repository) commitJournaled(ctx context.Context, rec walRecord, apply func() error) (wait func() error, err error) {
+	applySpanned := func() error {
+		_, sp := trace.StartSpan(ctx, "commit.apply")
+		defer sp.End()
+		return apply()
+	}
 	if r.wal == nil {
-		return nil, apply()
+		return nil, applySpanned()
 	}
 	if r.wal.group {
 		frame := r.wal.stage(rec)
-		if err := apply(); err != nil {
+		if err := applySpanned(); err != nil {
 			r.wal.unstage(frame)
 			return nil, err
 		}
 		seq := r.wal.seal()
-		return func() error { return r.wal.waitDurable(seq) }, nil
+		return func() error { return r.wal.waitDurable(ctx, seq) }, nil
 	}
 	off, err := r.wal.offset()
 	if err != nil {
 		return nil, fmt.Errorf("versioning: positioning journal: %w", err)
 	}
-	if err := r.wal.append(rec); err != nil {
+	_, asp := trace.StartSpan(ctx, "wal.append")
+	err = r.wal.append(rec)
+	asp.End()
+	if err != nil {
 		return nil, err
 	}
-	if err := apply(); err != nil {
+	if err := applySpanned(); err != nil {
 		if terr := r.wal.truncate(off); terr != nil {
 			r.closed = true
 			return nil, fmt.Errorf("versioning: %v (journal rollback failed: %v; repository closed)", err, terr)

@@ -1,6 +1,7 @@
 package versioning
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/diff"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // The write-ahead commit journal is the repository's durable history:
@@ -191,7 +193,9 @@ func (w *wal) unstage(frameLen int) {
 // waits for a leader's broadcast. A write failure is sticky: the
 // journal cannot tell which bytes of a torn batch reached the disk, so
 // it refuses all further writes and every waiter gets the error.
-func (w *wal) waitDurable(seq uint64) error {
+func (w *wal) waitDurable(ctx context.Context, seq uint64) error {
+	_, span := trace.StartSpan(ctx, "wal.wait")
+	defer span.End()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for w.durableSeq < seq {
@@ -202,7 +206,7 @@ func (w *wal) waitDurable(seq uint64) error {
 			w.cond.Wait()
 			continue
 		}
-		w.flushLocked()
+		w.flushLocked(ctx)
 	}
 	return nil
 }
@@ -211,15 +215,17 @@ func (w *wal) waitDurable(seq uint64) error {
 // entry and exit but released across the linger window and the file
 // I/O, so commits keep staging (and sealing into the next batch) while
 // the leader is at the syscall.
-func (w *wal) flushLocked() {
+func (w *wal) flushLocked(ctx context.Context) {
 	w.flushing = true
 	if w.linger > 0 {
 		// Hold the batch open briefly so concurrent commits join it: one
 		// fsync then covers all of them. Sleeping without the lock lets
 		// them stage and seal meanwhile.
+		_, lsp := trace.StartSpan(ctx, "wal.linger")
 		w.mu.Unlock()
 		time.Sleep(w.linger)
 		w.mu.Lock()
+		lsp.End()
 	}
 	buf := w.pend[:w.sealedLen:w.sealedLen]
 	recs := w.sealedRecs
@@ -230,9 +236,13 @@ func (w *wal) flushLocked() {
 	w.mu.Unlock()
 	var err error
 	if len(buf) > 0 {
+		_, wsp := trace.StartSpan(ctx, "wal.write")
 		_, err = w.f.Write(buf)
+		wsp.End()
 		if err == nil && w.sync {
+			_, ssp := trace.StartSpan(ctx, "wal.fsync")
 			err = w.f.Sync()
+			ssp.End()
 		}
 	}
 	w.mu.Lock()
@@ -364,7 +374,7 @@ func (w *wal) Close() error {
 				w.cond.Wait()
 				continue
 			}
-			w.flushLocked()
+			w.flushLocked(context.Background())
 		}
 		ferr := w.failed
 		w.mu.Unlock()

@@ -1,6 +1,7 @@
 package versioning
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -57,7 +58,7 @@ func FuzzWALReplay(f *testing.F) {
 		bw.stage(walRecord{v: NodeID(i), parent: NoParent, nodeStorage: Cost(i + 1), lines: []string{"batched", string(rune('a' + i))}})
 		bw.seal()
 	}
-	if err := bw.waitDurable(3); err != nil {
+	if err := bw.waitDurable(context.Background(), 3); err != nil {
 		f.Fatal(err)
 	}
 	bw.Close()
