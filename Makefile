@@ -50,10 +50,12 @@ serve:
 serve-durable:
 	$(GO) run ./cmd/dsvd -addr :8080 -demo 40 -data-dir ./dsvd-data
 
-# Load smoke: boot a durable dsvd, drive a 10s mixed workload through
-# dsvload, fail on any operation error, and leave BENCH_load.json
-# behind; then boot a multi-tenant dsvd with -max-open far below the
-# tenant count and drive a zipf-skewed 100-tenant mixed workload, so
+# Load smoke: boot a durable dsvd, drive a 10s zipf checkout mix (the
+# hot-version pattern the encoded-response cache exists for) plus a 10s
+# mixed workload through dsvload, fail on any operation error, and
+# leave BENCH_load.json behind; then boot a multi-tenant dsvd with
+# -max-open far below the tenant count and drive a zipf-skewed
+# 100-tenant mixed workload, so
 # LRU eviction + transparent reopen are exercised with zero failures
 # (BENCH_load_multi.json). Both daemons trace 1% of requests
 # (-trace-sample), both dsvload runs sample traces for the per-phase
@@ -73,7 +75,7 @@ load:
 		if $$tmp/dsvload -addr http://$(LOAD_ADDR) -mix checkout -duration 0s -preload 1 -out - >/dev/null 2>&1; then ok=1; break; fi; \
 		sleep 0.2; done; \
 	[ -n "$$ok" ] || { echo "dsvd did not become healthy"; exit 1; }; \
-	$$tmp/dsvload -addr http://$(LOAD_ADDR) -mix mixed -duration 10s -concurrency 8 \
+	$$tmp/dsvload -addr http://$(LOAD_ADDR) -mix checkout,mixed -duration 10s -concurrency 8 \
 		-preload 32 -trace-sample 0.01 -out BENCH_load.json -fail-on-error; \
 	$$tmp/benchgate -metrics http://$(LOAD_ADDR)/metricsz; \
 	kill $$pid; wait $$pid 2>/dev/null || true; \

@@ -15,6 +15,10 @@
 //     small window are merged into one batch POST /checkout and the
 //     results fanned back out, turning N HTTP round trips from a
 //     checkout stampede into one.
+//   - Opt-in ETag validator cache: direct checkouts remember each
+//     path's last ETag and content, revalidate with If-None-Match, and
+//     turn a repeat checkout into a bodyless 304 round trip (see
+//     Options.ValidatorCacheBytes).
 package client
 
 import (
@@ -25,8 +29,10 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/hotcache"
 	"repro/internal/trace"
 	"repro/serve"
 	"repro/versioning"
@@ -68,6 +74,20 @@ type Options struct {
 	// response that carried one — the hook dsvload uses to collect trace
 	// IDs for its per-phase latency breakdown (see Tracez).
 	OnTrace func(path, traceID string)
+	// OnResponse, when set, is called (on the request goroutine) with the
+	// request path and the wire size of the response body for every
+	// successful attempt — the hook dsvload uses for its payload
+	// throughput and response-size reports. A 304 revalidation reports 0
+	// bytes: that is the point of sending the validator.
+	OnResponse func(path string, bodyBytes int64)
+	// ValidatorCacheBytes enables the client-side ETag validator cache:
+	// direct (non-coalesced) checkouts remember each path's last response
+	// ETag and content within this byte budget, revalidate with
+	// If-None-Match, and a 304 Not Modified serves the cached lines
+	// without shipping the body again. Content is immutable per version,
+	// so a matching validator is always current. 0 disables (the
+	// default — callers opt in because cached lines are shared slices).
+	ValidatorCacheBytes int64
 }
 
 // Client talks to one dsvd daemon. Safe for concurrent use.
@@ -77,6 +97,11 @@ type Client struct {
 	opt    Options
 	co     *coalescer
 	window time.Duration // resolved coalescing window (<= 0 disabled)
+
+	// vcache is the opt-in ETag validator cache (nil when disabled);
+	// revalidated counts checkouts served from it via a 304.
+	vcache      *hotcache.Cache
+	revalidated atomic.Int64
 
 	// tenants caches Tenant views so repeated Tenant(name) calls share
 	// one per-tenant coalescer.
@@ -133,7 +158,17 @@ func New(baseURL string, opt Options) *Client {
 	if c.window > 0 {
 		c.co = newCoalescer(c, "/checkout", c.window, opt.CoalesceMax)
 	}
+	if opt.ValidatorCacheBytes > 0 {
+		c.vcache = hotcache.New(opt.ValidatorCacheBytes, 0)
+	}
 	return c
+}
+
+// observeResponse feeds the OnResponse hook, if installed.
+func (c *Client) observeResponse(path string, bodyBytes int64) {
+	if c.opt.OnResponse != nil {
+		c.opt.OnResponse(path, bodyBytes)
+	}
 }
 
 // Close flushes any pending coalesced batches (the root view's and
@@ -198,15 +233,55 @@ func (c *Client) Checkout(ctx context.Context, id versioning.NodeID) ([]string, 
 	return c.checkoutDirect(ctx, "", id)
 }
 
+// validatorEntry is one validator-cache slot: checkout content plus the
+// ETag that revalidates it.
+type validatorEntry struct {
+	etag  string
+	lines []string
+}
+
+// validatorSize approximates an entry's memory footprint for the
+// cache's byte accounting (slice headers plus string bytes).
+func validatorSize(e *validatorEntry) int64 {
+	n := int64(len(e.etag)) + 16*int64(len(e.lines))
+	for _, l := range e.lines {
+		n += int64(len(l))
+	}
+	return n
+}
+
 func (c *Client) checkoutDirect(ctx context.Context, prefix string, id versioning.NodeID) ([]string, error) {
+	path := fmt.Sprintf("%s/checkout/%d", prefix, id)
 	var out struct {
 		Lines []string `json:"lines"`
 	}
-	if err := c.doJSON(ctx, http.MethodGet, fmt.Sprintf("%s/checkout/%d", prefix, id), nil, &out, true); err != nil {
+	cl := &call{method: http.MethodGet, path: path, out: &out, idempotent: true}
+	var cached *validatorEntry
+	if c.vcache != nil {
+		if v, ok := c.vcache.Get(path); ok {
+			cached = v.(*validatorEntry)
+			cl.ifNoneMatch = cached.etag
+		}
+	}
+	if err := c.do(ctx, cl); err != nil {
 		return nil, err
+	}
+	if cl.notModified {
+		// Only reachable when a validator was sent, so cached is set.
+		c.revalidated.Add(1)
+		return cached.lines, nil
+	}
+	if c.vcache != nil && cl.etag != "" {
+		e := &validatorEntry{etag: cl.etag, lines: out.Lines}
+		c.vcache.Put(path, e, validatorSize(e))
 	}
 	return out.Lines, nil
 }
+
+// Revalidated reports how many checkouts the validator cache answered
+// via a 304 Not Modified revalidation (0 unless ValidatorCacheBytes
+// enabled the cache).
+func (c *Client) Revalidated() int64 { return c.revalidated.Load() }
 
 // CheckoutResult is one CheckoutBatch outcome.
 type CheckoutResult struct {

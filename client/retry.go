@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -20,22 +21,44 @@ type attemptError struct {
 	minDelay  time.Duration // server-provided Retry-After floor, if any
 }
 
+// call carries one logical request through the retry loop: the request
+// shape, the conditional-request validator the client-side ETag cache
+// threads in, and the per-response results (validator, wire size) it
+// reads back out after the final attempt.
+type call struct {
+	method, path string
+	in           any  // JSON body (nil for none)
+	out          any  // 2xx response target (nil to discard)
+	idempotent   bool // safe to resend after transport/torn-body errors
+	ifNoneMatch  string
+
+	// Results of the final attempt.
+	notModified bool   // the server answered 304 Not Modified
+	etag        string // ETag header of the final response, if any
+	bodyBytes   int64  // wire bytes of the final response body
+}
+
 // doJSON performs method path with in as JSON body (nil for none),
 // decoding a 2xx response into out (nil to discard). idempotent marks
 // requests that are safe to resend after a transport error or a torn
 // response; non-idempotent requests (Commit) are only retried when an
 // HTTP error status proves the server did not apply them.
 func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, idempotent bool) error {
-	body, err := marshalBody(in)
+	return c.do(ctx, &call{method: method, path: path, in: in, out: out, idempotent: idempotent})
+}
+
+// do runs cl's retry loop.
+func (c *Client) do(ctx context.Context, cl *call) error {
+	body, err := marshalBody(cl.in)
 	if err != nil {
-		return fmt.Errorf("dsvd: encoding %s %s: %w", method, path, err)
+		return fmt.Errorf("dsvd: encoding %s %s: %w", cl.method, cl.path, err)
 	}
 	// The trace header is chosen once so every retry of one logical
 	// request lands in the same trace.
 	th := c.traceHeader(ctx)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		ae := c.attempt(ctx, method, path, th, body, out, idempotent)
+		ae := c.attempt(ctx, cl, th, body)
 		if ae.err == nil {
 			return nil
 		}
@@ -64,7 +87,7 @@ func (c *Client) traceHeader(ctx context.Context) string {
 }
 
 // attempt runs one HTTP round trip under its own timeout.
-func (c *Client) attempt(ctx context.Context, method, path, traceHeader string, body []byte, out any, idempotent bool) attemptError {
+func (c *Client) attempt(ctx context.Context, cl *call, traceHeader string, body []byte) attemptError {
 	actx, cancel := context.WithTimeout(ctx, c.opt.RequestTimeout)
 	defer cancel()
 	var rd *bytes.Reader
@@ -74,12 +97,12 @@ func (c *Client) attempt(ctx context.Context, method, path, traceHeader string, 
 	var req *http.Request
 	var err error
 	if rd != nil {
-		req, err = http.NewRequestWithContext(actx, method, c.base+path, rd)
+		req, err = http.NewRequestWithContext(actx, cl.method, c.base+cl.path, rd)
 	} else {
-		req, err = http.NewRequestWithContext(actx, method, c.base+path, nil)
+		req, err = http.NewRequestWithContext(actx, cl.method, c.base+cl.path, nil)
 	}
 	if err != nil {
-		return attemptError{err: fmt.Errorf("dsvd: building %s %s: %w", method, path, err)}
+		return attemptError{err: fmt.Errorf("dsvd: building %s %s: %w", cl.method, cl.path, err)}
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -87,23 +110,34 @@ func (c *Client) attempt(ctx context.Context, method, path, traceHeader string, 
 	if traceHeader != "" {
 		req.Header.Set(trace.HeaderTrace, traceHeader)
 	}
+	if cl.ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", cl.ifNoneMatch)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Transport error: the caller's context expiring is terminal; a
 		// per-attempt timeout or connection failure retries only when
 		// resending cannot double-apply the request.
 		if ctx.Err() != nil {
-			return attemptError{err: fmt.Errorf("dsvd: %s %s: %w", method, path, ctx.Err())}
+			return attemptError{err: fmt.Errorf("dsvd: %s %s: %w", cl.method, cl.path, ctx.Err())}
 		}
 		return attemptError{
-			err:       fmt.Errorf("dsvd: %s %s: %w", method, path, err),
-			retryable: idempotent,
+			err:       fmt.Errorf("dsvd: %s %s: %w", cl.method, cl.path, err),
+			retryable: cl.idempotent,
 		}
 	}
 	defer resp.Body.Close()
+	if cl.ifNoneMatch != "" && resp.StatusCode == http.StatusNotModified {
+		// The validator held: no body, the cached content stands.
+		cl.notModified = true
+		cl.etag = resp.Header.Get("ETag")
+		cl.bodyBytes = 0
+		c.observeResponse(cl.path, 0)
+		return attemptError{}
+	}
 	if resp.StatusCode >= 200 && resp.StatusCode <= 299 && c.opt.OnTrace != nil {
 		if id := resp.Header.Get(trace.HeaderTraceID); id != "" {
-			c.opt.OnTrace(path, id)
+			c.opt.OnTrace(cl.path, id)
 		}
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
@@ -113,19 +147,39 @@ func (c *Client) attempt(ctx context.Context, method, path, traceHeader string, 
 		retry := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
 		return attemptError{err: apiErr, retryable: retry, minDelay: retryAfterHint(resp)}
 	}
-	if out == nil {
-		return attemptError{}
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		// Torn or malformed response body on a success status: the
-		// request applied but the answer was lost in transit. Reads can
-		// simply be reissued.
-		return attemptError{
-			err:       fmt.Errorf("dsvd: decoding %s %s response: %w", method, path, err),
-			retryable: idempotent,
+	cl.notModified = false
+	cl.etag = resp.Header.Get("ETag")
+	cr := &countingReader{r: resp.Body}
+	if cl.out != nil {
+		if err := json.NewDecoder(cr).Decode(cl.out); err != nil {
+			// Torn or malformed response body on a success status: the
+			// request applied but the answer was lost in transit. Reads
+			// can simply be reissued.
+			return attemptError{
+				err:       fmt.Errorf("dsvd: decoding %s %s response: %w", cl.method, cl.path, err),
+				retryable: cl.idempotent,
+			}
 		}
 	}
+	// Drain any remainder (the decoder stops at the end of the JSON
+	// value) so bodyBytes is the true wire size and the keep-alive
+	// connection can be reused.
+	io.Copy(io.Discard, cr)
+	cl.bodyBytes = cr.n
+	c.observeResponse(cl.path, cr.n)
 	return attemptError{}
+}
+
+// countingReader counts the bytes read through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // retryAfterHint parses a whole-seconds Retry-After header (0 if absent).

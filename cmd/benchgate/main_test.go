@@ -38,13 +38,13 @@ func writeReport(t *testing.T, name string, commitP99, checkoutP99 float64, errs
 
 func TestLoadGatePasses(t *testing.T) {
 	base := writeReport(t, "base.json", 100_000, 5_000, 0)
-	head := writeReport(t, "head.json", 110_000, 20_000, 0) // commit +10%, checkout noise ignored
-	if err := runLoad(base, head, 1.25); err != nil {
+	head := writeReport(t, "head.json", 110_000, 8_000, 0) // commit +10%, checkout +60%: both within gates
+	if err := runLoad(base, head, 1.25, 2.0); err != nil {
 		t.Fatalf("within-threshold head failed the gate: %v", err)
 	}
 	// A dramatic improvement obviously passes too.
-	better := writeReport(t, "better.json", 30_000, 5_000, 0)
-	if err := runLoad(base, better, 1.25); err != nil {
+	better := writeReport(t, "better.json", 30_000, 1_000, 0)
+	if err := runLoad(base, better, 1.25, 2.0); err != nil {
 		t.Fatalf("improved head failed the gate: %v", err)
 	}
 }
@@ -52,7 +52,7 @@ func TestLoadGatePasses(t *testing.T) {
 func TestLoadGateFailsOnCommitRegression(t *testing.T) {
 	base := writeReport(t, "base.json", 100_000, 5_000, 0)
 	head := writeReport(t, "head.json", 140_000, 5_000, 0) // commit +40%
-	err := runLoad(base, head, 1.25)
+	err := runLoad(base, head, 1.25, 2.0)
 	if err == nil {
 		t.Fatal("40%% commit p99 regression passed a 25%% gate")
 	}
@@ -61,10 +61,26 @@ func TestLoadGateFailsOnCommitRegression(t *testing.T) {
 	}
 }
 
+func TestLoadGateFailsOnCheckoutRegression(t *testing.T) {
+	base := writeReport(t, "base.json", 100_000, 5_000, 0)
+	head := writeReport(t, "head.json", 100_000, 12_000, 0) // checkout +140%
+	err := runLoad(base, head, 1.25, 2.0)
+	if err == nil {
+		t.Fatal("2.4x checkout p99 regression passed a 2x gate")
+	}
+	if !strings.Contains(err.Error(), "checkout") {
+		t.Fatalf("gate error does not name the checkout op: %v", err)
+	}
+	// A negative checkout threshold demotes checkout p99 to info-only.
+	if err := runLoad(base, head, 1.25, -1); err != nil {
+		t.Fatalf("disabled checkout gate still failed: %v", err)
+	}
+}
+
 func TestLoadGateFailsOnErrors(t *testing.T) {
 	base := writeReport(t, "base.json", 100_000, 5_000, 0)
 	head := writeReport(t, "head.json", 100_000, 5_000, 3)
-	if err := runLoad(base, head, 1.25); err == nil {
+	if err := runLoad(base, head, 1.25, 2.0); err == nil {
 		t.Fatal("head run with errors passed the gate")
 	}
 }
@@ -72,10 +88,10 @@ func TestLoadGateFailsOnErrors(t *testing.T) {
 func TestLoadGateRefusesEmptyComparison(t *testing.T) {
 	base := writeReport(t, "base.json", 0, 0, 0) // zero p99s: nothing comparable
 	head := writeReport(t, "head.json", 100_000, 5_000, 0)
-	if err := runLoad(base, head, 1.25); err == nil {
-		t.Fatal("gate with no comparable commit p99 reported success")
+	if err := runLoad(base, head, 1.25, 2.0); err == nil {
+		t.Fatal("gate with no comparable p99 reported success")
 	}
-	if err := runLoad("", "", 1.25); err == nil {
+	if err := runLoad("", "", 1.25, 2.0); err == nil {
 		t.Fatal("gate with no inputs reported success")
 	}
 }

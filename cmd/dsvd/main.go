@@ -99,6 +99,8 @@ func run() error {
 		autoFactor  = flag.Float64("auto-factor", 2, "slack multiplier for automatic storage budgets")
 		replanEvery = flag.Int("replan-every", 8, "re-plan and migrate every k commits (negative: only via POST /replan)")
 		cache       = flag.Int("cache", 256, "checkout LRU entries (negative disables)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "checkout LRU byte budget (0 = 64 MiB)")
+		respCache   = flag.Int64("resp-cache", 0, "encoded checkout-response cache byte budget (0 = 64 MiB, negative disables)")
 		workers     = flag.Int("workers", 0, "batch checkout workers (0 = GOMAXPROCS)")
 		shards      = flag.Int("shards", 0, "in-memory backend shards (0 = default; ignored with -data-dir)")
 		dataDir     = flag.String("data-dir", "", "durable storage root (objects + commit journal); empty serves from memory")
@@ -149,6 +151,7 @@ func run() error {
 		AutoFactor:         *autoFactor,
 		ReplanEvery:        *replanEvery,
 		CacheEntries:       *cache,
+		CacheBytes:         *cacheBytes,
 		Workers:            *workers,
 		Shards:             *shards,
 		SyncWrites:         *fsync,
@@ -165,12 +168,13 @@ func run() error {
 	var mgr *tenant.Manager
 	var repo *versioning.Repository
 	sopt := serve.Options{
-		MaxInFlight: *maxInFlight,
-		MaxQueue:    *maxQueue,
-		QueueWait:   *queueWait,
-		RetryAfter:  *retryAfter,
-		Tracer:      tracer,
-		SlowRequest: *slowLog,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		RetryAfter:     *retryAfter,
+		Tracer:         tracer,
+		SlowRequest:    *slowLog,
+		RespCacheBytes: *respCache,
 	}
 	if *multi {
 		// Refuse single-repo flags that would otherwise be dropped

@@ -84,6 +84,7 @@ type config struct {
 	tenants     int
 	tenantDist  string
 	traceSample float64
+	etag        bool
 }
 
 // validate rejects configurations that would silently measure
@@ -142,6 +143,7 @@ func main() {
 	flag.IntVar(&cfg.tenants, "tenants", 0, "spread load across N tenants of a dsvd -multi daemon (0 = single-repo mode)")
 	flag.StringVar(&cfg.tenantDist, "tenant-dist", "zipf", "tenant popularity with -tenants: zipf|uniform")
 	flag.Float64Var(&cfg.traceSample, "trace-sample", 0, "fraction of requests traced end-to-end; the report gains a per-phase server-side latency breakdown")
+	flag.BoolVar(&cfg.etag, "etag", false, "enable the client-side ETag validator cache: repeat checkouts revalidate with If-None-Match and come back as bodyless 304s")
 	flag.Parse()
 	for _, m := range strings.Split(mixList, ",") {
 		cfg.mixes = append(cfg.mixes, strings.TrimSpace(m))
@@ -212,6 +214,24 @@ func runLoad(cfg config) (Report, error) {
 		copt.TraceSample = cfg.traceSample
 		copt.OnTrace = tc.note
 	}
+	if cfg.etag {
+		copt.ValidatorCacheBytes = 64 << 20
+	}
+	// The client outlives every mix; the hook routes each response's
+	// wire size to whichever mix is currently running (nil between
+	// mixes, so preload traffic is not counted).
+	var active atomic.Pointer[loadState]
+	copt.OnResponse = func(path string, n int64) {
+		st := active.Load()
+		if st == nil {
+			return
+		}
+		if strings.Contains(path, "/checkout") {
+			st.checkoutBytes.ObserveValue(n)
+		} else if strings.Contains(path, "/commit") {
+			st.commitBytes.ObserveValue(n)
+		}
+	}
 	c := client.New(cfg.addr, copt)
 	defer c.Close()
 	ctx := context.Background()
@@ -244,8 +264,9 @@ func runLoad(cfg config) (Report, error) {
 		rep.Coalescing = true
 	}
 	rep.TraceSample = cfg.traceSample
+	rep.ETagCache = cfg.etag
 	for i, mix := range cfg.mixes {
-		mr, err := runMix(c, tc, targets, cfg, mix, cfg.seed+int64(i)*7919)
+		mr, err := runMix(c, tc, &active, targets, cfg, mix, cfg.seed+int64(i)*7919)
 		if err != nil {
 			return rep, fmt.Errorf("mix %q: %w", mix, err)
 		}
@@ -323,18 +344,20 @@ func mixRatio(cfg config, mix string) (float64, error) {
 
 // loadState is the per-mix shared state the workers drive.
 type loadState struct {
-	targets    []*target
-	checkoutHG metrics.Histogram
-	commitHG   metrics.Histogram
-	checkouts  atomic.Int64
-	commits    atomic.Int64
-	errors     atomic.Int64
-	throttled  atomic.Int64 // 429 shed responses (reported separately)
-	dropped    atomic.Int64 // open-loop arrivals with no capacity left
+	targets       []*target
+	checkoutHG    metrics.Histogram
+	commitHG      metrics.Histogram
+	checkoutBytes metrics.Histogram // response wire sizes via OnResponse
+	commitBytes   metrics.Histogram
+	checkouts     atomic.Int64
+	commits       atomic.Int64
+	errors        atomic.Int64
+	throttled     atomic.Int64 // 429 shed responses (reported separately)
+	dropped       atomic.Int64 // open-loop arrivals with no capacity left
 }
 
 // runMix drives one workload mix for cfg.duration and summarizes it.
-func runMix(c *client.Client, tc *traceCollector, targets []*target, cfg config, mix string, seed int64) (MixReport, error) {
+func runMix(c *client.Client, tc *traceCollector, active *atomic.Pointer[loadState], targets []*target, cfg config, mix string, seed int64) (MixReport, error) {
 	ratio, err := mixRatio(cfg, mix)
 	if err != nil {
 		return MixReport{}, err
@@ -346,6 +369,9 @@ func runMix(c *client.Client, tc *traceCollector, targets []*target, cfg config,
 		}
 	}
 	st := &loadState{targets: targets}
+	active.Store(st)
+	defer active.Store(nil)
+	reval0 := c.Revalidated()
 
 	start := time.Now()
 	deadline := start.Add(cfg.duration)
@@ -413,19 +439,38 @@ func runMix(c *client.Client, tc *traceCollector, targets []*target, cfg config,
 		PerOp:           map[string]OpReport{},
 	}
 	mr.Ops = mr.Checkouts + mr.Commits
+	mr.Revalidated = c.Revalidated() - reval0
 	if elapsed > 0 {
 		mr.ThroughputOpsPerSec = float64(mr.Ops) / elapsed.Seconds()
 	}
 	var merged metrics.Histogram
 	if mr.Checkouts > 0 {
-		mr.PerOp["checkout"] = OpReport{Ops: mr.Checkouts, Latency: st.checkoutHG.Summary()}
+		mr.PerOp["checkout"] = OpReport{
+			Ops:          mr.Checkouts,
+			Latency:      st.checkoutHG.Summary(),
+			ResponseSize: sizeSummary(&st.checkoutBytes),
+		}
 	}
 	if mr.Commits > 0 {
-		mr.PerOp["commit"] = OpReport{Ops: mr.Commits, Latency: st.commitHG.Summary()}
+		mr.PerOp["commit"] = OpReport{
+			Ops:          mr.Commits,
+			Latency:      st.commitHG.Summary(),
+			ResponseSize: sizeSummary(&st.commitBytes),
+		}
 	}
 	merged.Merge(&st.checkoutHG)
 	merged.Merge(&st.commitHG)
 	mr.Latency = merged.Summary()
+	var mergedBytes metrics.Histogram
+	mergedBytes.Merge(&st.checkoutBytes)
+	mergedBytes.Merge(&st.commitBytes)
+	if sz := sizeSummary(&mergedBytes); sz != nil {
+		mr.ResponseSize = sz
+		mr.ResponseBytes = sz.TotalBytes
+		if elapsed > 0 {
+			mr.ThroughputBytesPerSec = float64(sz.TotalBytes) / elapsed.Seconds()
+		}
+	}
 	if tc != nil {
 		attachTracePhases(ctx, c, tc, &mr)
 	}
@@ -455,6 +500,17 @@ func (st *loadState) step(ctx context.Context, rng *rand.Rand, t *target, pick *
 	if err != nil {
 		st.recordErr(err)
 	}
+}
+
+// sizeSummary renders h as a report field, nil when nothing was
+// observed (e.g. an older server or a hook that never fired) so empty
+// distributions stay out of the JSON.
+func sizeSummary(h *metrics.Histogram) *metrics.SizeSummary {
+	if h.Count() == 0 {
+		return nil
+	}
+	s := h.Snapshot().SizeSummary()
+	return &s
 }
 
 func (st *loadState) recordErr(err error) {

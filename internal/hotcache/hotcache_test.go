@@ -1,0 +1,174 @@
+package hotcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.Put("a", 1, 8) {
+		t.Fatal("nil cache admitted a put")
+	}
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache reported non-zero state")
+	}
+}
+
+func TestDisabledBudgetReturnsNil(t *testing.T) {
+	if New(0, 0) != nil || New(-1, 0) != nil {
+		t.Fatal("non-positive budget must return the nil (disabled) cache")
+	}
+}
+
+func TestAdmitFreelyUnderBudget(t *testing.T) {
+	c := New(100, 0)
+	for i := 0; i < 10; i++ {
+		if !c.Put(fmt.Sprint(i), i, 10) {
+			t.Fatalf("put %d rejected with budget headroom", i)
+		}
+	}
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", c.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if v, ok := c.Get(fmt.Sprint(i)); !ok || v.(int) != i {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestSecondTouchAdmissionWhenFull(t *testing.T) {
+	c := New(100, 0)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprint(i), i, 10)
+	}
+	// First touch of a new key with a full cache: rejected, no eviction.
+	if c.Put("new", 1, 10) {
+		t.Fatal("first-touch put admitted into a full cache")
+	}
+	if c.Len() != 10 {
+		t.Fatalf("rejected put evicted entries: Len = %d", c.Len())
+	}
+	// Second touch: admitted, evicting the LRU entry ("0").
+	if !c.Put("new", 1, 10) {
+		t.Fatal("second-touch put rejected")
+	}
+	if _, ok := c.Get("0"); ok {
+		t.Fatal("LRU entry survived a second-touch admission")
+	}
+	if _, ok := c.Get("new"); !ok {
+		t.Fatal("admitted entry missing")
+	}
+	st := c.Stats()
+	if st.Rejected != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 rejection and 1 eviction", st)
+	}
+}
+
+func TestUpdateExistingBypassesGate(t *testing.T) {
+	c := New(100, 0)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprint(i), i, 10)
+	}
+	// Updating a resident key is always allowed, even growing it.
+	if !c.Put("5", 55, 20) {
+		t.Fatal("update of resident key rejected")
+	}
+	if v, ok := c.Get("5"); !ok || v.(int) != 55 {
+		t.Fatalf("updated value = %v, %v", v, ok)
+	}
+	// Growth pushed bytes to 110 > 100: the LRU entry must have gone.
+	if st := c.Stats(); st.Bytes > 100 {
+		t.Fatalf("bytes %d over budget after update", st.Bytes)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(30, 0)
+	c.Put("a", 1, 10)
+	c.Put("b", 2, 10)
+	c.Put("c", 3, 10)
+	c.Get("a") // refresh a: eviction order becomes b, c, a
+	// Earn admission for d (second touch), which must evict b.
+	c.Put("d", 4, 10)
+	c.Put("d", 4, 10)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted first (LRU)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing", k)
+		}
+	}
+}
+
+func TestEntryCapEvicts(t *testing.T) {
+	c := New(1<<20, 2)
+	c.Put("a", 1, 1)
+	c.Put("b", 2, 1)
+	c.Put("c", 3, 1) // over the entry cap: needs a second touch
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (first touch rejected)", c.Len())
+	}
+	c.Put("c", 3, 1)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after admission", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("LRU entry a survived entry-cap eviction")
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	c := New(10, 0)
+	for i := 0; i < 3; i++ {
+		if c.Put("big", 1, 11) {
+			t.Fatal("value larger than the whole budget admitted")
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestDoorkeeperAges(t *testing.T) {
+	c := New(10, 0)
+	c.Put("hot", 1, 10) // fills the cache
+	c.doorCap = 4
+	// Five distinct first touches overflow the doorkeeper and clear it.
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprint(i), i, 10)
+	}
+	if len(c.door) > 4 {
+		t.Fatalf("doorkeeper grew past its cap: %d", len(c.door))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1<<16, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprint(i % 64)
+				if i%3 == 0 {
+					c.Put(k, i, int64(64+i%32))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d exceed budget %d", st.Bytes, st.MaxBytes)
+	}
+}

@@ -32,8 +32,12 @@ type Report struct {
 	// TraceSample is the -trace-sample fraction of requests that carried
 	// a trace header; 0 means tracing was off and the per-phase
 	// breakdowns below are absent.
-	TraceSample float64     `json:"trace_sample,omitempty"`
-	Mixes       []MixReport `json:"mixes"`
+	TraceSample float64 `json:"trace_sample,omitempty"`
+	// ETagCache reports whether the client-side ETag validator cache was
+	// on (dsvload -etag): repeat checkouts revalidate with If-None-Match
+	// and matching versions come back as bodyless 304s.
+	ETagCache bool        `json:"etag_cache,omitempty"`
+	Mixes     []MixReport `json:"mixes"`
 }
 
 // MixReport summarizes one workload mix.
@@ -51,15 +55,30 @@ type MixReport struct {
 	Throttled int64 `json:"throttled"` // 429-shed responses (admission control working)
 	Dropped   int64 `json:"dropped"`   // open-loop arrivals beyond the backlog
 
-	ThroughputOpsPerSec float64                `json:"throughput_ops_per_sec"`
-	Latency             metrics.LatencySummary `json:"latency_us"`
-	PerOp               map[string]OpReport    `json:"per_op"`
+	// Revalidated counts checkouts the client's ETag validator cache
+	// answered via a 304 Not Modified (0 unless dsvload -etag).
+	Revalidated int64 `json:"revalidated,omitempty"`
+
+	ThroughputOpsPerSec float64 `json:"throughput_ops_per_sec"`
+	// ThroughputBytesPerSec is the response-payload rate: wire body
+	// bytes received per second across every operation in the mix (304
+	// revalidations count as 0 bytes — that saving is the point).
+	ThroughputBytesPerSec float64 `json:"throughput_bytes_per_sec,omitempty"`
+	// ResponseBytes is the total wire body bytes received.
+	ResponseBytes int64                  `json:"response_bytes,omitempty"`
+	Latency       metrics.LatencySummary `json:"latency_us"`
+	// ResponseSize is the response-body size distribution across the
+	// whole mix (absent from reports written by older generators).
+	ResponseSize *metrics.SizeSummary `json:"response_size_bytes,omitempty"`
+	PerOp        map[string]OpReport  `json:"per_op"`
 }
 
 // OpReport is one operation type's share of a mix.
 type OpReport struct {
 	Ops     int64                  `json:"ops"`
 	Latency metrics.LatencySummary `json:"latency_us"`
+	// ResponseSize is this op's response-body size distribution.
+	ResponseSize *metrics.SizeSummary `json:"response_size_bytes,omitempty"`
 	// TraceSampled counts this op's requests that carried a trace
 	// header (dsvload -trace-sample); TraceMatched is how many of those
 	// traces were still retained by the server's flight recorder when

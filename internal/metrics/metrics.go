@@ -190,3 +190,34 @@ func (s Snapshot) Summary() LatencySummary {
 
 // Summary is shorthand for h.Snapshot().Summary().
 func (h *Histogram) Summary() LatencySummary { return h.Snapshot().Summary() }
+
+// ObserveValue records one dimensionless non-negative value (e.g. a
+// response size in bytes). The bucket layout is unit-agnostic — only
+// the summary types attach units — so the same Histogram machinery
+// serves sizes as well as durations; don't mix both in one instrument.
+func (h *Histogram) ObserveValue(v int64) { h.Observe(time.Duration(v)) }
+
+// SizeSummary is the byte-denominated sibling of LatencySummary, used
+// for response-size distributions in dsvload reports.
+type SizeSummary struct {
+	Count      uint64  `json:"count"`
+	TotalBytes int64   `json:"total_bytes"`
+	MeanBytes  float64 `json:"mean_bytes"`
+	P50Bytes   float64 `json:"p50_bytes"`
+	P95Bytes   float64 `json:"p95_bytes"`
+	P99Bytes   float64 `json:"p99_bytes"`
+	MaxBytes   float64 `json:"max_bytes"`
+}
+
+// SizeSummary renders a snapshot of ObserveValue byte observations.
+func (s Snapshot) SizeSummary() SizeSummary {
+	return SizeSummary{
+		Count:      s.Count,
+		TotalBytes: int64(s.Sum),
+		MeanBytes:  float64(s.Mean()),
+		P50Bytes:   float64(s.Quantile(0.50)),
+		P95Bytes:   float64(s.Quantile(0.95)),
+		P99Bytes:   float64(s.Quantile(0.99)),
+		MaxBytes:   float64(s.Max),
+	}
+}

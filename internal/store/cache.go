@@ -1,82 +1,94 @@
 package store
 
 import (
-	"container/list"
-	"sync"
+	"strconv"
 
 	"repro/internal/graph"
+	"repro/internal/hotcache"
 )
 
-// contentCache is an LRU cache of reconstructed version contents. Version
-// content is immutable once committed, so entries never need invalidation
-// — not even across plan migrations — only eviction.
+// contentCache caches reconstructed version contents. Version content is
+// immutable once committed, so entries never need invalidation — not
+// even across plan migrations — only eviction.
 //
-// c.mu is a leaf in the store's lock order: get/put/len never call back
-// into the Store or the backend, so holding s.mu while probing the cache
-// (the path-snapshot walk does) cannot invert, and no cache lock is ever
-// held across singleflight waits or backend I/O.
+// It runs on the shared hotcache engine, so the budget is byte-accounted
+// (the serving layer's encoded-response cache uses the same engine and
+// the same accounting) and admission is frequency-gated: once the cache
+// is full a version must be checked out twice before it may evict a hot
+// resident, which keeps zipf one-hit-wonders from churning the head.
+//
+// The engine's mutex is a leaf in the store's lock order: get/put/len
+// never call back into the Store or the backend, so holding s.mu while
+// probing the cache (the path-snapshot walk does) cannot invert, and no
+// cache lock is ever held across singleflight waits or backend I/O.
 type contentCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[graph.NodeID]*list.Element
+	hc *hotcache.Cache
 }
 
-type cacheItem struct {
-	v     graph.NodeID
-	lines []string
-}
+// defaultCacheBytes bounds the content cache when the caller does not:
+// 64 MiB of reconstructed lines, far above anything the default 256
+// entries of ~20-line synthetic versions ever reached, so existing
+// configurations keep their entry-cap behavior.
+const defaultCacheBytes = 64 << 20
 
-// newContentCache returns a cache holding at most cap versions; nil when
-// cap < 0 (caching disabled — callers treat a nil cache as always-miss).
-func newContentCache(cap int) *contentCache {
-	if cap < 0 {
+// newContentCache returns a cache holding at most capEntries versions
+// (0 = 256) within a maxBytes budget (0 = 64 MiB); nil when capEntries
+// < 0 (caching disabled — callers treat a nil cache as always-miss).
+func newContentCache(capEntries int, maxBytes int64) *contentCache {
+	if capEntries < 0 {
 		return nil
 	}
-	if cap == 0 {
-		cap = 256
+	if capEntries == 0 {
+		capEntries = 256
 	}
-	return &contentCache{cap: cap, ll: list.New(), m: make(map[graph.NodeID]*list.Element)}
+	if maxBytes <= 0 {
+		maxBytes = defaultCacheBytes
+	}
+	return &contentCache{hc: hotcache.New(maxBytes, capEntries)}
+}
+
+// cacheKey renders v for the string-keyed engine.
+func cacheKey(v graph.NodeID) string { return strconv.FormatInt(int64(v), 10) }
+
+// linesSize byte-accounts a content slice: the line bytes plus the
+// string header overhead per line.
+func linesSize(lines []string) int64 {
+	n := int64(len(lines)) * 16
+	for _, l := range lines {
+		n += int64(len(l))
+	}
+	return n
 }
 
 func (c *contentCache) get(v graph.NodeID) ([]string, bool) {
 	if c == nil {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.m[v]
+	val, ok := c.hc.Get(cacheKey(v))
 	if !ok {
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheItem).lines, true
+	return val.([]string), true
 }
 
 func (c *contentCache) put(v graph.NodeID, lines []string) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[v]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheItem).lines = lines
-		return
-	}
-	c.m[v] = c.ll.PushFront(&cacheItem{v: v, lines: lines})
-	for c.ll.Len() > c.cap {
-		el := c.ll.Back()
-		c.ll.Remove(el)
-		delete(c.m, el.Value.(*cacheItem).v)
-	}
+	c.hc.Put(cacheKey(v), lines, linesSize(lines))
 }
 
 func (c *contentCache) len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	return c.hc.Len()
+}
+
+// stats exposes the engine's traffic counters (zero for a nil cache).
+func (c *contentCache) stats() hotcache.Stats {
+	if c == nil {
+		return hotcache.Stats{}
+	}
+	return c.hc.Stats()
 }

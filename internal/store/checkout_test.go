@@ -51,7 +51,7 @@ func TestCheckoutSingleflightAndCache(t *testing.T) {
 	deep := graph.NodeID(12)
 	// Drop the cache entry AddMaterialized seeded so the whole path must
 	// be fetched.
-	s.cache = newContentCache(64)
+	s.cache = newContentCache(64, 0)
 
 	cb.gets.Store(0)
 	const K = 16
@@ -95,7 +95,7 @@ func TestCheckoutSingleflightAndCache(t *testing.T) {
 func TestCheckoutUsesCachedAncestors(t *testing.T) {
 	cb := &countingBackend{Backend: NewMemBackend()}
 	s, contents := chainStore(t, 10, Options{Backend: cb})
-	s.cache = newContentCache(64)
+	s.cache = newContentCache(64, 0)
 	mid, tip := graph.NodeID(7), graph.NodeID(10)
 	got, err := s.Checkout(context.Background(), mid)
 	if err != nil || !reflect.DeepEqual(got, contents[mid]) {
@@ -145,10 +145,15 @@ func TestCheckoutBatchCancellation(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	s, contents := chainStore(t, 6, Options{CacheEntries: 2})
-	s.cache = newContentCache(2)
+	s.cache = newContentCache(2, 0)
+	// Admission is frequency-gated once the cache is full: a version must
+	// be checked out twice (second touch) to evict a resident. Check each
+	// version out twice so every one earns admission in turn.
 	for i := range contents {
-		if _, err := s.Checkout(context.Background(), graph.NodeID(i)); err != nil {
-			t.Fatal(err)
+		for j := 0; j < 2; j++ {
+			if _, err := s.Checkout(context.Background(), graph.NodeID(i)); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if n := s.cache.len(); n != 2 {

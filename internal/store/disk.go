@@ -8,36 +8,134 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// DiskBackend is a durable Backend: one file per object under a git-style
-// fan-out layout (objects/ab/cdef...), where the path is the hex content
-// hash split after its first byte. Writes are crash-safe: the payload is
-// written to a temporary file in the same directory, fsynced, then
-// renamed into place, so a killed daemon leaves either the complete
-// object or a stale *.tmp file (swept on the next open) — never a torn
-// object. Reads are lazy (nothing is cached in memory beyond a key→size
-// index rebuilt by scanning the layout at open), so the working set is
-// whatever the store-level LRU holds, not the whole object set.
+// DiskBackend is a durable Backend with a two-tier layout:
+//
+//   - Loose objects: one file per object under a git-style fan-out
+//     (objects/ab/cdef...), written crash-safe via tmp+fsync+rename.
+//     This is the write path — a commit lands as loose objects, never
+//     blocking on compaction.
+//   - Packfiles: a background compactor folds loose objects (and
+//     sparse older packs) into append-only packs/pack-NNN.pack files,
+//     each mmap'd at open. This is the hot read path — a Get of a
+//     packed object is a bounds-checked slice of the mapping, no
+//     open/read/close syscall triple per object.
+//
+// Crash safety spans both tiers. Torn *.tmp files (loose or pack) are
+// swept at open. A crash after a pack is published but before its
+// source loose files are unlinked leaves both copies; open detects the
+// duplicate keys and completes the compaction by removing the loose
+// copies. The in-memory index is always rebuilt from a scan, so no
+// index file can go stale.
+//
+// Zero-copy contract: slices returned by Get may alias an mmap'd pack.
+// They must not be modified and stay valid for the life of the process:
+// compaction unlinks superseded packs but keeps their mappings live, and
+// Close retains them too, because a closed repository still serves
+// checkouts (see versioning.Repository.Close). The mappings are
+// read-only and file-backed, so the kernel reclaims the pages under
+// pressure; only the address-space reservation persists.
 type DiskBackend struct {
-	root string // the objects/ directory
+	root    string // the objects/ directory (loose tier)
+	packDir string // the packs/ directory
 
 	mu    sync.RWMutex
-	index map[Key]int64 // present objects and their sizes
+	index map[Key]objRef
 	bytes int64
+	loose int         // index entries in the loose tier
+	packs []*packFile // append-only; refs index into it, dead packs stay
+
+	packSeq   uint64     // last pack sequence number issued
+	compactMu sync.Mutex // serializes compaction passes
+
+	packReads   atomic.Int64
+	looseReads  atomic.Int64
+	compactions atomic.Int64
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// objRef locates an object: in pack b.packs[pack] at [off, off+size),
+// or loose (pack < 0) at the fan-out path.
+type objRef struct {
+	pack int32
+	off  int64
+	size int64
+}
+
+const looseTier = int32(-1)
+
+// DiskOptions tunes the background compactor.
+type DiskOptions struct {
+	// CompactMinLoose is the loose-object count that triggers a
+	// background compaction pass (0 = 1024; negative disables the
+	// background compactor — explicit Compact calls still work).
+	CompactMinLoose int
+	// CompactEvery is the compactor's poll interval (0 = 30s).
+	CompactEvery time.Duration
 }
 
 // OpenDiskBackend opens (creating if needed) a disk backend rooted at
-// dir: objects live under dir/objects. Stale temporary files from a
-// previous crash are removed and the in-memory index is rebuilt from the
-// directory scan.
+// dir with default compaction tuning. Loose objects live under
+// dir/objects, packfiles under dir/packs. Stale temporary files from a
+// previous crash are removed, interrupted compactions are completed,
+// and the in-memory index is rebuilt from the scan.
 func OpenDiskBackend(dir string) (*DiskBackend, error) {
+	return OpenDiskBackendWith(dir, DiskOptions{})
+}
+
+// OpenDiskBackendWith is OpenDiskBackend with explicit compactor tuning.
+func OpenDiskBackendWith(dir string, opt DiskOptions) (*DiskBackend, error) {
 	root := filepath.Join(dir, "objects")
+	packDir := filepath.Join(dir, "packs")
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating object dir: %w", err)
 	}
-	b := &DiskBackend{root: root, index: make(map[Key]int64)}
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+	if err := os.MkdirAll(packDir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating pack dir: %w", err)
+	}
+	b := &DiskBackend{
+		root:    root,
+		packDir: packDir,
+		index:   make(map[Key]objRef),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+
+	// Packs first: on a duplicate key the packed copy wins, so the
+	// loose walk below can treat "already indexed" as an interrupted
+	// compaction and finish it. Within the pack tier, later packs win
+	// (a sparse-pack rewrite re-records its survivors in a newer pack).
+	packs, entries, maxSeq, err := scanPacks(packDir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning pack dir: %w", err)
+	}
+	b.packs = packs
+	b.packSeq = maxSeq
+	for i, ents := range entries {
+		for _, e := range ents {
+			if old, dup := b.index[e.key]; dup {
+				b.packs[old.pack].live--
+				b.bytes -= old.size
+			}
+			b.index[e.key] = objRef{pack: int32(i), off: e.off, size: e.size}
+			b.packs[i].live++
+			b.bytes += e.size
+		}
+	}
+	for _, p := range b.packs {
+		if p.total > 0 && p.live == 0 {
+			p.dead = true
+			os.Remove(p.path) // fully superseded; reclaim now
+		}
+	}
+
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
 		}
@@ -48,16 +146,34 @@ func OpenDiskBackend(dir string) (*DiskBackend, error) {
 		if !ok {
 			return nil // foreign file; leave it alone
 		}
+		if _, packed := b.index[k]; packed {
+			return os.Remove(path) // interrupted compaction: pack copy wins
+		}
 		info, err := d.Info()
 		if err != nil {
 			return err
 		}
-		b.index[k] = info.Size()
+		b.index[k] = objRef{pack: looseTier, size: info.Size()}
+		b.loose++
 		b.bytes += info.Size()
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("store: scanning object dir: %w", err)
+	}
+
+	if opt.CompactMinLoose >= 0 {
+		minLoose := opt.CompactMinLoose
+		if minLoose == 0 {
+			minLoose = 1024
+		}
+		every := opt.CompactEvery
+		if every <= 0 {
+			every = 30 * time.Second
+		}
+		go b.compactLoop(minLoose, every)
+	} else {
+		close(b.done) // no compactor to wait for at Close
 	}
 	return b, nil
 }
@@ -84,7 +200,8 @@ func keyFromPath(root, path string) (Key, bool) {
 	return k, true
 }
 
-// Put stores data under k (idempotent) with a tmp+rename atomic write.
+// Put stores data under k (idempotent) with a tmp+rename atomic write
+// into the loose tier. The compactor migrates it to a pack later.
 func (b *DiskBackend) Put(k Key, data []byte) error {
 	b.mu.RLock()
 	_, ok := b.index[k]
@@ -126,34 +243,81 @@ func (b *DiskBackend) Put(k Key, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: publishing object %s: %w", k, err)
 	}
-	b.index[k] = int64(len(data))
+	b.index[k] = objRef{pack: looseTier, size: int64(len(data))}
+	b.loose++
 	b.bytes += int64(len(data))
 	return nil
 }
 
-// Get reads the object stored under k from disk.
+// Get reads the object stored under k: a zero-copy slice of an mmap'd
+// pack when packed, an os.ReadFile when loose. The returned slice must
+// not be modified; see the type comment for its lifetime.
 func (b *DiskBackend) Get(k Key) ([]byte, error) {
-	data, err := os.ReadFile(b.path(k))
-	if os.IsNotExist(err) {
-		return nil, ErrNotFound
+	for {
+		b.mu.RLock()
+		ref, ok := b.index[k]
+		var packed []byte
+		if ok && ref.pack != looseTier {
+			p := b.packs[ref.pack]
+			packed = p.data[ref.off : ref.off+ref.size : ref.off+ref.size]
+		}
+		b.mu.RUnlock()
+		if !ok {
+			return nil, ErrNotFound
+		}
+		if packed != nil {
+			b.packReads.Add(1)
+			return packed, nil
+		}
+		data, err := os.ReadFile(b.path(k))
+		if err == nil {
+			b.looseReads.Add(1)
+			return data, nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: reading object %s: %w", k, err)
+		}
+		// The loose file vanished between the index lookup and the
+		// read: either a concurrent Delete (the index entry is gone —
+		// report not-found) or a concurrent compaction moved it into a
+		// pack (the index now points there — retry resolves it).
+		b.mu.RLock()
+		ref2, ok2 := b.index[k]
+		b.mu.RUnlock()
+		if !ok2 || ref2 == ref {
+			return nil, ErrNotFound
+		}
 	}
-	if err != nil {
-		return nil, fmt.Errorf("store: reading object %s: %w", k, err)
-	}
-	return data, nil
 }
 
-// Delete removes k if present (file removal and index update are atomic
-// against concurrent Puts of the same key — see Put).
+// Delete removes k if present. For loose objects the file removal and
+// index update are atomic against concurrent Puts of the same key (see
+// Put). For packed objects only the index entry is dropped; the pack
+// file itself is unlinked once its last live entry dies, and its
+// mapping is retained until Close for outstanding Get slices.
 func (b *DiskBackend) Delete(k Key) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if err := os.Remove(b.path(k)); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("store: deleting object %s: %w", k, err)
+	ref, ok := b.index[k]
+	if !ok || ref.pack == looseTier {
+		if err := os.Remove(b.path(k)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: deleting object %s: %w", k, err)
+		}
 	}
-	if size, ok := b.index[k]; ok {
-		b.bytes -= size
-		delete(b.index, k)
+	if !ok {
+		return nil
+	}
+	delete(b.index, k)
+	b.bytes -= ref.size
+	if ref.pack == looseTier {
+		b.loose--
+		return nil
+	}
+	p := b.packs[ref.pack]
+	p.live--
+	if p.live == 0 && !p.dead {
+		p.dead = true
+		os.Remove(p.path)
 	}
 	return nil
 }
@@ -189,17 +353,176 @@ func (b *DiskBackend) Stats() BackendStats {
 	return BackendStats{Objects: len(b.index), Bytes: b.bytes}
 }
 
-// Flush syncs the object directory so recent renames survive a machine
-// crash (object payloads are already fsynced before publication).
-func (b *DiskBackend) Flush() error {
-	d, err := os.Open(b.root)
-	if err != nil {
-		return err
+// PackStats reports the pack tier's state and read-path traffic.
+func (b *DiskBackend) PackStats() PackStats {
+	b.mu.RLock()
+	st := PackStats{
+		PackReads:   b.packReads.Load(),
+		LooseReads:  b.looseReads.Load(),
+		Compactions: b.compactions.Load(),
 	}
-	defer d.Close()
-	return d.Sync()
+	for _, p := range b.packs {
+		if !p.dead {
+			st.Packs++
+			st.PackedObjects += p.live
+		}
+	}
+	b.mu.RUnlock()
+	return st
 }
 
-// Close flushes the backend; the DiskBackend holds no long-lived OS
-// handles beyond that.
-func (b *DiskBackend) Close() error { return b.Flush() }
+// Compact folds every loose object and every sparse pack (under half
+// its entries still live) into one new packfile, then removes the
+// superseded loose files and unlinks fully-drained packs. Concurrent
+// Puts, Gets, and Deletes are safe throughout: the index is only
+// retargeted after the new pack is durably published, and Get retries
+// cover the unlink window. Returns the number of objects migrated.
+func (b *DiskBackend) Compact() (int, error) {
+	b.compactMu.Lock()
+	defer b.compactMu.Unlock()
+
+	// Snapshot the victims: all loose keys plus live keys of sparse
+	// packs. Deletes that race this snapshot are handled at publish.
+	b.mu.RLock()
+	sparse := make(map[int32]bool)
+	for i, p := range b.packs {
+		if !p.dead && p.live > 0 && p.live*2 < p.total {
+			sparse[int32(i)] = true
+		}
+	}
+	var victims []Key
+	for k, ref := range b.index {
+		if ref.pack == looseTier || sparse[ref.pack] {
+			victims = append(victims, k)
+		}
+	}
+	b.mu.RUnlock()
+	if len(victims) == 0 {
+		return 0, nil
+	}
+
+	// Read payloads outside any lock (Get handles concurrent moves).
+	records := make([]packRecord, 0, len(victims))
+	for _, k := range victims {
+		payload, err := b.Get(k)
+		if err == ErrNotFound {
+			continue // deleted since the snapshot
+		}
+		if err != nil {
+			return 0, err
+		}
+		records = append(records, packRecord{key: k, payload: payload})
+	}
+	if len(records) == 0 {
+		return 0, nil
+	}
+
+	b.mu.Lock()
+	b.packSeq++
+	seq := b.packSeq
+	b.mu.Unlock()
+	dst, entries, err := writePack(b.packDir, seq, records)
+	if err != nil {
+		return 0, err
+	}
+	pf, _, err := openPack(dst)
+	if err != nil {
+		os.Remove(dst)
+		return 0, err
+	}
+
+	// Retarget the index. Keys deleted since the snapshot stay deleted
+	// (their pack records are dead on arrival); everything else moves
+	// to the new pack regardless of tier — content addressing makes
+	// any current copy byte-identical to what we packed.
+	var freedLoose []Key
+	b.mu.Lock()
+	idx := int32(len(b.packs))
+	b.packs = append(b.packs, pf)
+	moved := 0
+	for _, e := range entries {
+		ref, ok := b.index[e.key]
+		if !ok {
+			continue
+		}
+		if ref.pack == looseTier {
+			b.loose--
+			freedLoose = append(freedLoose, e.key)
+		} else {
+			old := b.packs[ref.pack]
+			old.live--
+			if old.live == 0 && !old.dead {
+				old.dead = true
+				os.Remove(old.path)
+			}
+		}
+		b.index[e.key] = objRef{pack: idx, off: e.off, size: e.size}
+		pf.live++
+		moved++
+	}
+	if pf.live == 0 && !pf.dead {
+		pf.dead = true
+		os.Remove(pf.path) // every victim was deleted mid-flight
+	}
+	b.mu.Unlock()
+
+	// Unlink superseded loose files outside the lock; Get's retry loop
+	// covers readers that looked up the loose ref before the retarget.
+	// A crash in this window leaves duplicates that the next open
+	// resolves in the pack's favor.
+	for _, k := range freedLoose {
+		os.Remove(b.path(k))
+	}
+	b.compactions.Add(1)
+	return moved, nil
+}
+
+// compactLoop is the background compactor: every tick, if the loose
+// tier has grown past minLoose objects, fold it into a pack.
+func (b *DiskBackend) compactLoop(minLoose int, every time.Duration) {
+	defer close(b.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+			b.mu.RLock()
+			n := b.loose
+			b.mu.RUnlock()
+			if n >= minLoose {
+				b.Compact() // best-effort; next tick retries on error
+			}
+		}
+	}
+}
+
+// Flush syncs the object and pack directories so recent renames survive
+// a machine crash (payloads are already fsynced before publication).
+func (b *DiskBackend) Flush() error {
+	for _, dir := range []string{b.root, b.packDir} {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		err = d.Sync()
+		d.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops the background compactor and flushes directory metadata.
+// Pack mappings are deliberately retained (see the type comment): a
+// closed backend still serves reads, and outstanding zero-copy slices
+// stay valid.
+func (b *DiskBackend) Close() error {
+	b.closeOnce.Do(func() { close(b.stop) })
+	<-b.done
+	b.compactMu.Lock() // no compaction in flight past this point
+	defer b.compactMu.Unlock()
+	return b.Flush()
+}

@@ -1,0 +1,242 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Packfile layout. A compaction folds the objects/ab/hex fan-out into a
+// single append-only file under dir/packs:
+//
+//	magic "DSVPACK1"
+//	record*: key[32] | uvarint(len(payload)) | payload
+//
+// There is no sidecar index: the key and length prefix are enough to
+// rebuild the offset table with one sequential header scan at open,
+// which removes an entire class of index-out-of-sync crash bugs. Packs
+// are immutable once published (tmp + fsync + rename, like loose
+// objects); deletion only ever removes whole files, and a pack's mmap
+// stays live until the backend closes, so Get can hand out zero-copy
+// slices without reference counting.
+
+const packMagic = "DSVPACK1"
+
+// PackStats reports the packfile read path's state and traffic, exposed
+// by backends that implement PackStatser (today: DiskBackend).
+type PackStats struct {
+	Packs         int   // live (non-empty) packfiles
+	PackedObjects int   // live objects resolved from packs
+	PackReads     int64 // Gets served from an mmap'd pack
+	LooseReads    int64 // Gets served from a fan-out file
+	Compactions   int64 // completed compaction passes
+}
+
+// PackStatser is the optional Backend extension for pack bookkeeping.
+type PackStatser interface {
+	PackStats() PackStats
+}
+
+// packFile is one mapped packfile. Fields are guarded by the owning
+// DiskBackend's mutex except data/unmap, which are immutable after
+// construction.
+type packFile struct {
+	path  string
+	data  []byte       // full mmap'd file contents
+	unmap func() error // releases data at backend Close
+	live  int          // entries still pointed at by the index
+	total int          // entries in the file, live or dead
+	dead  bool         // unlinked (kept mapped for outstanding slices)
+}
+
+// packEntry locates one record's payload during parsing/publication.
+type packEntry struct {
+	key  Key
+	off  int64 // payload offset within the file
+	size int64
+}
+
+// parsePack header-scans a pack's mapped contents into its entry list.
+// A truncated tail (torn final record from a crash mid-rename — should
+// be impossible given the tmp+rename protocol, but disks lie) ends the
+// scan rather than failing it: every complete record before the tear is
+// still served.
+func parsePack(data []byte) ([]packEntry, error) {
+	if len(data) < len(packMagic) || string(data[:len(packMagic)]) != packMagic {
+		return nil, fmt.Errorf("bad pack magic")
+	}
+	var entries []packEntry
+	off := int64(len(packMagic))
+	for off < int64(len(data)) {
+		if int64(len(data))-off < int64(len(Key{}))+1 {
+			break // torn tail
+		}
+		var k Key
+		copy(k[:], data[off:])
+		off += int64(len(Key{}))
+		size, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			break // torn tail
+		}
+		off += int64(n)
+		if off+int64(size) > int64(len(data)) {
+			break // torn tail
+		}
+		entries = append(entries, packEntry{key: k, off: off, size: int64(size)})
+		off += int64(size)
+	}
+	return entries, nil
+}
+
+// packName formats the sequence-numbered pack filename; packSeqOf
+// reverses it for open-time scanning.
+func packName(seq uint64) string { return fmt.Sprintf("pack-%016d.pack", seq) }
+
+func packSeqOf(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "pack-") || !strings.HasSuffix(name, ".pack") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "pack-"), ".pack"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// openPack maps an existing packfile and parses its records.
+func openPack(path string) (*packFile, []packEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	data, unmap, err := mmapFile(f, info.Size())
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: mapping pack %s: %w", path, err)
+	}
+	entries, err := parsePack(data)
+	if err != nil {
+		unmap()
+		return nil, nil, fmt.Errorf("store: pack %s: %w", path, err)
+	}
+	return &packFile{path: path, data: data, unmap: unmap, total: len(entries)}, entries, nil
+}
+
+// scanPacks loads every pack under packDir in sequence order, removing
+// stale *.tmp spills from interrupted compactions. Returns the packs,
+// their entry lists, and the highest sequence number seen.
+func scanPacks(packDir string) ([]*packFile, [][]packEntry, uint64, error) {
+	ents, err := os.ReadDir(packDir)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var names []string
+	var maxSeq uint64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if strings.Contains(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(packDir, e.Name())) // torn compaction
+			continue
+		}
+		seq, ok := packSeqOf(e.Name())
+		if !ok {
+			continue // foreign file; leave it alone
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names) // zero-padded seq: lexicographic == numeric
+	packs := make([]*packFile, 0, len(names))
+	entries := make([][]packEntry, 0, len(names))
+	for _, name := range names {
+		p, ents, err := openPack(filepath.Join(packDir, name))
+		if err != nil {
+			for _, q := range packs {
+				q.unmap()
+			}
+			return nil, nil, 0, err
+		}
+		packs = append(packs, p)
+		entries = append(entries, ents)
+	}
+	return packs, entries, maxSeq, nil
+}
+
+// writePack streams records to a tmp file in packDir and atomically
+// publishes it as seq's pack. Returns the final path and the entry
+// locations (offsets are valid for the published file).
+func writePack(packDir string, seq uint64, records []packRecord) (string, []packEntry, error) {
+	tmp, err := os.CreateTemp(packDir, "pack-*.tmp")
+	if err != nil {
+		return "", nil, fmt.Errorf("store: tmp pack: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err := w.WriteString(packMagic); err != nil {
+		return "", nil, err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	entries := make([]packEntry, 0, len(records))
+	off := int64(len(packMagic))
+	for _, r := range records {
+		if _, err := w.Write(r.key[:]); err != nil {
+			return "", nil, err
+		}
+		n := binary.PutUvarint(hdr[:], uint64(len(r.payload)))
+		if _, err := w.Write(hdr[:n]); err != nil {
+			return "", nil, err
+		}
+		off += int64(len(Key{})) + int64(n)
+		if _, err := w.Write(r.payload); err != nil {
+			return "", nil, err
+		}
+		entries = append(entries, packEntry{key: r.key, off: off, size: int64(len(r.payload))})
+		off += int64(len(r.payload))
+	}
+	if err := w.Flush(); err != nil {
+		return "", nil, err
+	}
+	if err := tmp.Sync(); err != nil {
+		return "", nil, err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		tmp = nil
+		return "", nil, err
+	}
+	tmp = nil
+	dst := filepath.Join(packDir, packName(seq))
+	if err := os.Rename(name, dst); err != nil {
+		os.Remove(name)
+		return "", nil, fmt.Errorf("store: publishing pack: %w", err)
+	}
+	if d, err := os.Open(packDir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return dst, entries, nil
+}
+
+type packRecord struct {
+	key     Key
+	payload []byte
+}

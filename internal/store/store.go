@@ -19,6 +19,9 @@ type Options struct {
 	// CacheEntries bounds the LRU cache of reconstructed versions:
 	// 0 = 256 entries, negative disables caching.
 	CacheEntries int
+	// CacheBytes bounds the same cache by content bytes (0 = 64 MiB).
+	// Whichever budget fills first triggers frequency-gated admission.
+	CacheBytes int64
 }
 
 // Store executes a storage plan: it persists exactly the bytes the plan
@@ -69,12 +72,23 @@ type Stats struct {
 	Deltas         int   // stored edit scripts
 	Versions       int   // versions the installed plan covers
 	CachedVersions int   // reconstructed versions currently in the LRU
+	CachedBytes    int64 // byte-accounted footprint of the LRU
 	Checkouts      int64 // Checkout calls served
 	CacheHits      int64 // checkouts answered from the LRU
+	CacheRejected  int64 // cache puts turned away by the admission gate
+	CacheEvicted   int64 // cache entries evicted by the budget
 	DeltaApplies   int64 // edit scripts applied during reconstructions
 	PlanRetries    int64 // checkouts re-snapshotted after racing a migration
 	Installs       int64 // successful plan migrations
 	InstallMicros  int64 // cumulative wall time spent inside Install
+
+	// Packfile read-path counters, populated when the backend compacts
+	// into packs (see DiskBackend).
+	Packs         int   // live packfiles
+	PackedObjects int   // objects served from packs
+	PackReads     int64 // Gets resolved via an mmap'd pack slice
+	LooseReads    int64 // Gets resolved via a loose fan-out file
+	Compactions   int64 // completed compaction passes
 }
 
 // New returns an empty Store.
@@ -85,7 +99,7 @@ func New(opt Options) *Store {
 	}
 	return &Store{
 		backend:  b,
-		cache:    newContentCache(opt.CacheEntries),
+		cache:    newContentCache(opt.CacheEntries, opt.CacheBytes),
 		blobKey:  make(map[graph.NodeID]Key),
 		deltaKey: make(map[graph.EdgeID]Key),
 		edgeFrom: make(map[graph.EdgeID]graph.NodeID),
@@ -103,20 +117,33 @@ func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	blobs, deltas, versions := len(s.blobKey), len(s.deltaKey), len(s.parentEdge)
 	s.mu.RUnlock()
-	return Stats{
+	cs := s.cache.stats()
+	st := Stats{
 		Objects:        bs.Objects,
 		Bytes:          bs.Bytes,
 		Blobs:          blobs,
 		Deltas:         deltas,
 		Versions:       versions,
 		CachedVersions: s.cache.len(),
+		CachedBytes:    cs.Bytes,
 		Checkouts:      s.checkouts.Load(),
 		CacheHits:      s.cacheHits.Load(),
+		CacheRejected:  cs.Rejected,
+		CacheEvicted:   cs.Evictions,
 		DeltaApplies:   s.deltaApplies.Load(),
 		PlanRetries:    s.planRetries.Load(),
 		Installs:       s.installs.Load(),
 		InstallMicros:  s.installMicros.Load(),
 	}
+	if pb, ok := s.backend.(PackStatser); ok {
+		ps := pb.PackStats()
+		st.Packs = ps.Packs
+		st.PackedObjects = ps.PackedObjects
+		st.PackReads = ps.PackReads
+		st.LooseReads = ps.LooseReads
+		st.Compactions = ps.Compactions
+	}
+	return st
 }
 
 // ContentFunc yields the full content of a version, however the caller

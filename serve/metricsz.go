@@ -82,6 +82,18 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	}
 	e.Counter("dsv_checkout_coalesced_total", "Checkout requests served by piggybacking on an in-flight identical request.", float64(s.coalesced.Load()))
 
+	if s.resp != nil {
+		cs := s.resp.stats()
+		e.Gauge("dsv_respcache_entries", "Encoded checkout responses currently cached.", float64(cs.Entries))
+		e.Gauge("dsv_respcache_bytes", "Byte footprint of the encoded-response cache.", float64(cs.Bytes))
+		e.Gauge("dsv_respcache_max_bytes", "Byte budget of the encoded-response cache.", float64(cs.MaxBytes))
+		e.Counter("dsv_respcache_hits_total", "Checkouts answered from the encoded-response cache.", float64(cs.Hits))
+		e.Counter("dsv_respcache_misses_total", "Checkouts that had to reconstruct and encode.", float64(cs.Misses))
+		e.Counter("dsv_respcache_rejected_total", "Cache fills turned away by the admission gate.", float64(cs.Rejected))
+		e.Counter("dsv_respcache_evictions_total", "Cached responses evicted by the byte budget.", float64(cs.Evictions))
+	}
+	e.Counter("dsv_checkout_not_modified_total", "Checkouts answered 304 off a client If-None-Match validator.", float64(s.notModified.Load()))
+
 	e.Counter("dsv_slow_requests_logged_total", "Slow-request log lines emitted.", float64(s.slowLogged.Load()))
 	e.Counter("dsv_slow_requests_suppressed_total", "Slow requests over the threshold whose log line was rate-limited away.", float64(s.slowSuppressed.Load()))
 	if s.tracer != nil {
@@ -121,12 +133,20 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	repoGauge("dsv_repo_blobs", "Materialized blob objects under the installed plan.", func(st versioning.RepositoryStats) float64 { return float64(st.Blobs) })
 	repoGauge("dsv_repo_stored_deltas", "Delta objects under the installed plan.", func(st versioning.RepositoryStats) float64 { return float64(st.StoredDeltas) })
 	repoGauge("dsv_repo_cached_versions", "Versions in the checkout LRU cache.", func(st versioning.RepositoryStats) float64 { return float64(st.CachedVersions) })
+	repoGauge("dsv_repo_cached_bytes", "Byte footprint of the checkout LRU cache.", func(st versioning.RepositoryStats) float64 { return float64(st.CachedBytes) })
 	repoGauge("dsv_repo_commits_pending", "Commits since the last installed plan.", func(st versioning.RepositoryStats) float64 { return float64(st.CommitsPending) })
 	repoGauge("dsv_repo_storage_cost", "Installed plan storage cost.", func(st versioning.RepositoryStats) float64 { return float64(st.Storage) })
 	repoGauge("dsv_repo_sum_retrieval_cost", "Installed plan total retrieval cost.", func(st versioning.RepositoryStats) float64 { return float64(st.SumRetrieval) })
 	repoGauge("dsv_repo_max_retrieval_cost", "Installed plan worst-version retrieval cost.", func(st versioning.RepositoryStats) float64 { return float64(st.MaxRetrieval) })
 	repoCounter("dsv_repo_checkouts_total", "Store checkouts (cache hits included).", func(st versioning.RepositoryStats) float64 { return float64(st.Checkouts) })
 	repoCounter("dsv_repo_cache_hits_total", "Checkouts served from the LRU cache.", func(st versioning.RepositoryStats) float64 { return float64(st.CacheHits) })
+	repoCounter("dsv_repo_cache_rejected_total", "Content-cache fills turned away by the admission gate.", func(st versioning.RepositoryStats) float64 { return float64(st.CacheRejected) })
+	repoCounter("dsv_repo_cache_evicted_total", "Content-cache entries evicted by the byte budget.", func(st versioning.RepositoryStats) float64 { return float64(st.CacheEvicted) })
+	repoGauge("dsv_repo_packs", "Live packfiles in the disk backend.", func(st versioning.RepositoryStats) float64 { return float64(st.Packs) })
+	repoGauge("dsv_repo_packed_objects", "Objects served from packfiles.", func(st versioning.RepositoryStats) float64 { return float64(st.PackedObjects) })
+	repoCounter("dsv_repo_pack_reads_total", "Object reads resolved via an mmap'd pack slice.", func(st versioning.RepositoryStats) float64 { return float64(st.PackReads) })
+	repoCounter("dsv_repo_loose_reads_total", "Object reads resolved via a loose fan-out file.", func(st versioning.RepositoryStats) float64 { return float64(st.LooseReads) })
+	repoCounter("dsv_repo_compactions_total", "Packfile compaction passes completed.", func(st versioning.RepositoryStats) float64 { return float64(st.Compactions) })
 	repoCounter("dsv_repo_delta_applies_total", "Edit scripts applied during reconstructions.", func(st versioning.RepositoryStats) float64 { return float64(st.DeltaApplies) })
 	repoCounter("dsv_repo_plan_retries_total", "Checkouts re-snapshotted after racing a migration.", func(st versioning.RepositoryStats) float64 { return float64(st.PlanRetries) })
 	repoCounter("dsv_repo_replans_total", "Plans installed.", func(st versioning.RepositoryStats) float64 { return float64(st.Replans) })

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/hotcache"
+	"repro/versioning"
+)
+
+// respCache caches fully assembled GET /checkout/{id} responses: the
+// encoded JSON wire bytes plus a strong ETag, keyed by (tenant,
+// version). Version content is immutable once committed, so entries
+// never invalidate — only the byte budget evicts them. On a hit the
+// handler skips the repository, the store, and the JSON encoder
+// entirely and answers with one Write (or a 304, if the client already
+// holds the bytes).
+//
+// It runs on the same byte-accounted hotcache engine as the store's
+// content cache, so admission is frequency-gated once the budget is
+// full: under a zipf workload the popular head stays resident and
+// one-hit wonders cannot churn it.
+type respCache struct {
+	hc *hotcache.Cache
+}
+
+// cachedResp is one encoded response: the exact bytes written to the
+// wire and their strong validator.
+type cachedResp struct {
+	body []byte
+	etag string // strong ETag: quoted hex SHA-256 of body
+}
+
+// defaultRespCacheBytes bounds the encoded-response cache when the
+// caller does not (Options.RespCacheBytes == 0).
+const defaultRespCacheBytes = 64 << 20
+
+// newRespCache returns a cache with the given byte budget (0 = 64 MiB);
+// nil — always miss — when maxBytes is negative.
+func newRespCache(maxBytes int64) *respCache {
+	if maxBytes < 0 {
+		return nil
+	}
+	if maxBytes == 0 {
+		maxBytes = defaultRespCacheBytes
+	}
+	return &respCache{hc: hotcache.New(maxBytes, 0)}
+}
+
+// respKey scopes a version id to its tenant namespace ("" in
+// single-repo mode). NUL cannot appear in a tenant name, so keys
+// cannot collide across namespaces.
+func respKey(tenant string, id versioning.NodeID) string {
+	return tenant + "\x00" + strconv.FormatInt(int64(id), 10)
+}
+
+func (c *respCache) get(tenant string, id versioning.NodeID) (*cachedResp, bool) {
+	if c == nil {
+		return nil, false
+	}
+	v, ok := c.hc.Get(respKey(tenant, id))
+	if !ok {
+		return nil, false
+	}
+	return v.(*cachedResp), true
+}
+
+// cachedRespOverhead approximates the per-entry bookkeeping cost (key,
+// ETag string, entry struct) charged against the byte budget on top of
+// the body itself.
+const cachedRespOverhead = 128
+
+func (c *respCache) put(tenant string, id versioning.NodeID, e *cachedResp) {
+	if c == nil {
+		return
+	}
+	c.hc.Put(respKey(tenant, id), e, int64(len(e.body))+cachedRespOverhead)
+}
+
+func (c *respCache) stats() hotcache.Stats {
+	if c == nil {
+		return hotcache.Stats{}
+	}
+	return c.hc.Stats()
+}
+
+// encBufPool recycles encoding buffers for response-cache misses, so a
+// miss costs one buffer reuse plus one right-sized copy instead of the
+// allocation churn of encoding straight into the socket writer.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeResponse assembles v's wire form once: the JSON body (with
+// json.Encoder's trailing newline, matching what writeJSON produced)
+// and its strong ETag.
+func encodeResponse(v any) (*cachedResp, error) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer encBufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		return nil, err
+	}
+	body := append([]byte(nil), buf.Bytes()...)
+	sum := sha256.Sum256(body)
+	return &cachedResp{body: body, etag: `"` + hex.EncodeToString(sum[:]) + `"`}, nil
+}
+
+// etagMatch reports whether an If-None-Match header value matches etag.
+// Weak validators compare equal to their strong form: the bytes are
+// generated deterministically from the content hash, so a weak match
+// is as good as a strong one for this resource.
+func etagMatch(header, etag string) bool {
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimPrefix(strings.TrimSpace(cand), "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeEncoded answers with e: a 304 when the client's validator
+// matches (no body bytes move), otherwise the pre-encoded body in a
+// single Write with an exact Content-Length.
+func (s *Server) writeEncoded(w http.ResponseWriter, r *http.Request, e *cachedResp) {
+	w.Header().Set("ETag", e.etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, e.etag) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(e.body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(e.body)
+}

@@ -30,6 +30,15 @@
 //     keyed by the tenant's open generation and dropped when the
 //     manager evicts the tenant, so a reopened tenant can never be
 //     served from a stale flight.
+//   - Encoded-response cache on GET /checkout/{id}: the assembled JSON
+//     wire bytes are cached per (tenant, version) under a byte budget
+//     (Options.RespCacheBytes) with frequency-gated admission, so a hot
+//     version is served with a single Write — no repository, store, or
+//     encoder work. Every checkout response carries a strong
+//     content-hash ETag and honors If-None-Match with 304, so a
+//     revalidating client pays no body bytes at all. Version content is
+//     immutable, so entries never invalidate — only eviction removes
+//     them.
 //   - Per-endpoint metrics: request/error counts and log-linear latency
 //     histograms (internal/metrics) surfaced by /statsz and, in
 //     Prometheus exposition format, by /metricsz.
@@ -52,6 +61,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -96,6 +106,11 @@ type Options struct {
 	// threshold (rate-limited to one line per 100ms) with their trace
 	// IDs. 0 disables the slow log.
 	SlowRequest time.Duration
+	// RespCacheBytes bounds the encoded-response cache for GET
+	// /checkout/{id}: fully assembled wire bytes keyed by (tenant,
+	// version), served with one Write and a strong ETag (0 = 64 MiB,
+	// negative disables). See respcache.go.
+	RespCacheBytes int64
 }
 
 // repoState is the serving hot state for one open repository: in
@@ -128,6 +143,9 @@ type Server struct {
 	start           time.Time
 	checkoutTimeout time.Duration
 	coalesced       atomic.Int64 // follower requests served by a shared flight
+
+	resp        *respCache   // encoded checkout responses (nil = disabled)
+	notModified atomic.Int64 // checkout 304s answered from a client validator
 
 	tracer         *trace.Tracer
 	slowReq        time.Duration
@@ -178,6 +196,7 @@ func newServer(opt Options) *Server {
 		adm:             newLimiter(opt),
 		start:           time.Now(),
 		checkoutTimeout: opt.CheckoutTimeout,
+		resp:            newRespCache(opt.RespCacheBytes),
 		tracer:          opt.Tracer,
 		slowReq:         opt.SlowRequest,
 		logf:            log.Printf,
@@ -287,7 +306,12 @@ func (s *Server) maybeLogSlow(name string, status int, d time.Duration, span *tr
 		name, status, d.Microseconds(), s.slowReq, span.TraceID(), suppressed)
 }
 
-// statusWriter captures the response status for the error counters.
+// statusWriter captures the response status for the error counters. It
+// passes optional http.ResponseWriter capabilities through to the
+// underlying writer: Flush (streaming handlers behind the wrapper must
+// still reach the socket), ReadFrom (io.Copy into the response keeps
+// net/http's sendfile path), and Unwrap (http.ResponseController
+// discovers everything else).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -297,6 +321,21 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
 }
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) ReadFrom(src io.Reader) (int64, error) {
+	// io.Copy uses the underlying writer's ReadFrom when it has one
+	// (net/http's does, enabling sendfile) and degrades to a plain copy
+	// when it does not.
+	return io.Copy(w.ResponseWriter, src)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // handleHealthz is the liveness/readiness probe: cheap (one RLock plus
 // atomic counters), so orchestrators can poll it even mid-re-plan.
@@ -453,7 +492,16 @@ func (s *Server) handleCheckout(st *repoState, w http.ResponseWriter, r *http.Re
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad version id: %v", err)})
 		return
 	}
-	lines, err := s.checkoutShared(st, r.Context(), versioning.NodeID(id64))
+	id := versioning.NodeID(id64)
+	// Hot path: the fully encoded response is cached. No repository,
+	// store, or JSON work — one header check and one Write (or a 304).
+	if e, ok := s.resp.get(st.name, id); ok {
+		_, sp := trace.StartSpan(r.Context(), "cache.hit")
+		sp.End()
+		s.writeEncoded(w, r, e)
+		return
+	}
+	lines, err := s.checkoutShared(st, r.Context(), id)
 	if err != nil {
 		status := checkoutErrStatus(err)
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
@@ -462,7 +510,13 @@ func (s *Server) handleCheckout(st *repoState, w http.ResponseWriter, r *http.Re
 		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, checkoutResponse{ID: versioning.NodeID(id64), Lines: lines})
+	e, err := encodeResponse(checkoutResponse{ID: id, Lines: lines})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	s.resp.put(st.name, id, e)
+	s.writeEncoded(w, r, e)
 }
 
 type checkoutBatchRequest struct {

@@ -27,6 +27,20 @@ type EndpointStats struct {
 	Latency   metrics.LatencySummary `json:"latency"`
 }
 
+// RespCacheStats is the encoded-response cache's /statsz entry: byte
+// footprint, hit/miss traffic, admission-gate rejections, and how many
+// checkouts were answered with a 304 off a client validator.
+type RespCacheStats struct {
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Rejected    int64 `json:"rejected"`
+	Evictions   int64 `json:"evictions"`
+	NotModified int64 `json:"not_modified"`
+}
+
 // Statsz is the /statsz response: the server-side observability surface
 // the client, dsvload, and the CI load-smoke job read. Repo is
 // populated in single-repository mode; Fleet and Tenants in
@@ -46,6 +60,9 @@ type Statsz struct {
 	// Endpoints maps endpoint name (commit, checkout, ...) to its
 	// traffic counters and latency summary.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+	// RespCache is the encoded-response cache's state and traffic
+	// (absent when the cache is disabled).
+	RespCache *RespCacheStats `json:"resp_cache,omitempty"`
 	// Repo is the single repository's full stats — plan costs, WAL
 	// batching (wal_batches/wal_max_batch), maintenance counters, store
 	// cache traffic — in single-repo mode; zero in multi mode.
@@ -76,6 +93,19 @@ func (s *Server) StatszSnapshot() Statsz {
 		out.Tenants = s.mgr.OpenStats()
 	} else {
 		out.Repo = s.def.repo.Stats()
+	}
+	if s.resp != nil {
+		cs := s.resp.stats()
+		out.RespCache = &RespCacheStats{
+			Entries:     cs.Entries,
+			Bytes:       cs.Bytes,
+			MaxBytes:    cs.MaxBytes,
+			Hits:        cs.Hits,
+			Misses:      cs.Misses,
+			Rejected:    cs.Rejected,
+			Evictions:   cs.Evictions,
+			NotModified: s.notModified.Load(),
+		}
 	}
 	s.epMu.Lock()
 	names := make([]string, 0, len(s.endpoints))

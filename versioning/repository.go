@@ -48,6 +48,8 @@ type RepositoryOptions struct {
 	// CacheEntries bounds the LRU cache of reconstructed versions
 	// (0 = 256, negative disables).
 	CacheEntries int
+	// CacheBytes bounds the same cache by byte footprint (0 = 64 MiB).
+	CacheBytes int64
 	// Workers bounds concurrent reconstructions in CheckoutBatch
 	// (0 = runtime.GOMAXPROCS).
 	Workers int
@@ -202,7 +204,7 @@ func NewRepository(name string, opt RepositoryOptions) *Repository {
 		opt:        opt,
 		eng:        eng,
 		start:      time.Now(),
-		st:         store.New(store.Options{Backend: backend, CacheEntries: opt.CacheEntries}),
+		st:         store.New(store.Options{Backend: backend, CacheEntries: opt.CacheEntries, CacheBytes: opt.CacheBytes}),
 		g:          NewGraph(name),
 		plan:       plan.New(NewGraph(name)),
 		planCost:   PlanCost{Feasible: true},
@@ -620,10 +622,21 @@ type RepositoryStats struct {
 	Blobs          int   `json:"blobs"`
 	StoredDeltas   int   `json:"stored_deltas"`
 	CachedVersions int   `json:"cached_versions"`
+	CachedBytes    int64 `json:"cached_bytes"`
 	Checkouts      int64 `json:"checkouts"`
 	CacheHits      int64 `json:"cache_hits"`
+	CacheRejected  int64 `json:"cache_rejected"`
+	CacheEvicted   int64 `json:"cache_evicted"`
 	DeltaApplies   int64 `json:"delta_applies"`
 	PlanRetries    int64 `json:"plan_retries"` // checkouts re-snapshotted after racing a migration
+
+	// Packfile read-path counters (non-zero only on disk-backed
+	// repositories once the compactor has run).
+	Packs         int   `json:"packs,omitempty"`
+	PackedObjects int   `json:"packed_objects,omitempty"`
+	PackReads     int64 `json:"pack_reads,omitempty"`
+	LooseReads    int64 `json:"loose_reads,omitempty"`
+	Compactions   int64 `json:"compactions,omitempty"`
 }
 
 // Stats reports the repository's current state and traffic counters.
@@ -649,10 +662,18 @@ func (r *Repository) Stats() RepositoryStats {
 		Blobs:          ss.Blobs,
 		StoredDeltas:   ss.Deltas,
 		CachedVersions: ss.CachedVersions,
+		CachedBytes:    ss.CachedBytes,
 		Checkouts:      ss.Checkouts,
 		CacheHits:      ss.CacheHits,
+		CacheRejected:  ss.CacheRejected,
+		CacheEvicted:   ss.CacheEvicted,
 		DeltaApplies:   ss.DeltaApplies,
 		PlanRetries:    ss.PlanRetries,
+		Packs:          ss.Packs,
+		PackedObjects:  ss.PackedObjects,
+		PackReads:      ss.PackReads,
+		LooseReads:     ss.LooseReads,
+		Compactions:    ss.Compactions,
 	}
 	st.Migrations = ss.Installs
 	st.MigrationMicros = ss.InstallMicros
