@@ -62,6 +62,14 @@ serve-durable:
 # breakdown in the reports, and the multi daemon's /metricsz is linted
 # with benchgate -metrics before shutdown so a malformed Prometheus
 # exposition fails the run. CI runs all of it as the load-smoke job.
+#
+# A third phase exercises the real-history path: a fresh daemon is
+# preloaded by dsvimport with the committed fixture history plus this
+# repository's own git history (-src .; shallow checkouts just import
+# fewer commits), then dsvload drives a checkout+diff read mix over the
+# imported versions and leaves BENCH_import.json behind. benchgate
+# gates it against the committed baseline with -allow-missing-base, so
+# the PR that first creates the baseline still passes.
 LOAD_ADDR ?= 127.0.0.1:8321
 LOAD_TENANTS ?= 100
 LOAD_MAX_OPEN ?= 16
@@ -87,5 +95,17 @@ load:
 	$$tmp/dsvload -addr http://$(LOAD_ADDR) -mix mixed -duration 8s -concurrency 8 \
 		-tenants $(LOAD_TENANTS) -tenant-dist zipf -preload $(LOAD_TENANTS) \
 		-trace-sample 0.01 -out BENCH_load_multi.json -fail-on-error; \
+	$$tmp/benchgate -metrics http://$(LOAD_ADDR)/metricsz; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	$(GO) build -o $$tmp/dsvimport ./cmd/dsvimport; \
+	$$tmp/dsvd -addr $(LOAD_ADDR) -data-dir $$tmp/import-data -trace-sample 0.01 & pid=$$!; \
+	ok=""; for i in $$(seq 1 50); do \
+		if $$tmp/dsvload -addr http://$(LOAD_ADDR) -mix checkout -duration 0s -preload 1 -out - >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.2; done; \
+	[ -n "$$ok" ] || { echo "dsvd (import phase) did not become healthy"; exit 1; }; \
+	$$tmp/dsvimport -src internal/gitimport/testdata/fixture.git -addr http://$(LOAD_ADDR); \
+	$$tmp/dsvimport -src . -max-commits 300 -addr http://$(LOAD_ADDR) -replan; \
+	$$tmp/dsvload -addr http://$(LOAD_ADDR) -mix checkout,diff -duration 8s -concurrency 8 \
+		-preload 1 -trace-sample 0.01 -out BENCH_import.json -fail-on-error; \
 	$$tmp/benchgate -metrics http://$(LOAD_ADDR)/metricsz; \
 	kill $$pid; wait $$pid 2>/dev/null || true

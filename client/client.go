@@ -18,7 +18,15 @@
 //   - Opt-in ETag validator cache: direct checkouts remember each
 //     path's last ETag and content, revalidate with If-None-Match, and
 //     turn a repeat checkout into a bodyless 304 round trip (see
-//     Options.ValidatorCacheBytes).
+//     Options.ValidatorCacheBytes). Path-scoped checkouts and diffs
+//     revalidate too — the cache keys by exact request path.
+//
+// The full read/write surface mirrors the server: Commit and
+// CommitMerge (multi-parent versions), Checkout / CheckoutPath /
+// CheckoutBatch, Diff (the keep/delete/insert edit script between any
+// two versions), Plan/Replan/Stats, and the observability probes.
+// Tenant(name) returns the same API scoped to one namespace of a
+// dsvd -multi fleet.
 package client
 
 import (
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -224,6 +233,23 @@ func (c *Client) commitPath(ctx context.Context, prefix string, parent versionin
 	return out, err
 }
 
+// CommitMerge appends a multi-parent merge version: parents[0] is the
+// primary parent, each further parent adds a candidate delta edge.
+// Real-history importers use this to preserve git merge topology.
+func (c *Client) CommitMerge(ctx context.Context, parents []versioning.NodeID, lines []string) (CommitResult, error) {
+	return c.commitMergePath(ctx, "", parents, lines)
+}
+
+func (c *Client) commitMergePath(ctx context.Context, prefix string, parents []versioning.NodeID, lines []string) (CommitResult, error) {
+	var out CommitResult
+	req := struct {
+		Parents []versioning.NodeID `json:"parents"`
+		Lines   []string            `json:"lines"`
+	}{Parents: parents, Lines: lines}
+	err := c.doJSON(ctx, http.MethodPost, prefix+"/commit", req, &out, false)
+	return out, err
+}
+
 // Checkout reconstructs version id's full content. Concurrent calls
 // within the coalescing window ride one batch request.
 func (c *Client) Checkout(ctx context.Context, id versioning.NodeID) ([]string, error) {
@@ -250,8 +276,28 @@ func validatorSize(e *validatorEntry) int64 {
 	return n
 }
 
+// CheckoutPath reconstructs version id narrowed to one manifest path
+// scope (a file or directory prefix; see versioning.FilterManifest).
+// Scoped checkouts always go direct — the batch endpoint has no scope —
+// but share the validator cache keyed by (id, scope).
+func (c *Client) CheckoutPath(ctx context.Context, id versioning.NodeID, scope string) ([]string, error) {
+	return c.checkoutScoped(ctx, "", id, scope)
+}
+
+func (c *Client) checkoutScoped(ctx context.Context, prefix string, id versioning.NodeID, scope string) ([]string, error) {
+	if scope == "" {
+		return c.checkoutDirect(ctx, prefix, id)
+	}
+	return c.checkoutGet(ctx, fmt.Sprintf("%s/checkout/%d?path=%s", prefix, id, url.QueryEscape(scope)))
+}
+
 func (c *Client) checkoutDirect(ctx context.Context, prefix string, id versioning.NodeID) ([]string, error) {
-	path := fmt.Sprintf("%s/checkout/%d", prefix, id)
+	return c.checkoutGet(ctx, fmt.Sprintf("%s/checkout/%d", prefix, id))
+}
+
+// checkoutGet is the shared direct-GET checkout path (full or scoped):
+// one request through the validator cache, keyed by the exact URL path.
+func (c *Client) checkoutGet(ctx context.Context, path string) ([]string, error) {
 	var out struct {
 		Lines []string `json:"lines"`
 	}
@@ -341,6 +387,36 @@ func (c *Client) checkoutBatchRaw(ctx context.Context, path string, ids []versio
 		return nil, fmt.Errorf("dsvd: batch checkout returned %d results for %d ids", len(out), len(ids))
 	}
 	return out, nil
+}
+
+// DiffOp is one edit-script command from GET /diff/{a}/{b}: keep and
+// delete carry a source line count, insert carries the inserted lines.
+type DiffOp struct {
+	Op    string   `json:"op"` // "keep" | "delete" | "insert"
+	N     int      `json:"n,omitempty"`
+	Lines []string `json:"lines,omitempty"`
+}
+
+// DiffResult is the edit script transforming version A's lines into
+// version B's, with summary sizes (keeps excluded).
+type DiffResult struct {
+	A            versioning.NodeID `json:"a"`
+	B            versioning.NodeID `json:"b"`
+	Ops          []DiffOp          `json:"ops"`
+	AddedLines   int               `json:"added_lines"`
+	RemovedLines int               `json:"removed_lines"`
+}
+
+// Diff fetches the edit script between two versions. The server caches
+// encoded diffs with a strong ETag, so hot pairs are cheap.
+func (c *Client) Diff(ctx context.Context, a, b versioning.NodeID) (DiffResult, error) {
+	return c.diffPath(ctx, "", a, b)
+}
+
+func (c *Client) diffPath(ctx context.Context, prefix string, a, b versioning.NodeID) (DiffResult, error) {
+	var out DiffResult
+	err := c.doJSON(ctx, http.MethodGet, fmt.Sprintf("%s/diff/%d/%d", prefix, a, b), nil, &out, true)
+	return out, err
 }
 
 // Plan fetches the currently installed plan summary.

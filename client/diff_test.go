@@ -1,0 +1,87 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/versioning"
+)
+
+// TestClientDiffAndScopedCheckout exercises the new read endpoints
+// through the typed client: CommitMerge topology, Diff edit scripts,
+// and path-scoped manifest checkouts.
+func TestClientDiffAndScopedCheckout(t *testing.T) {
+	leakCheck(t)
+	ts, _, _ := liveServer(t, 0)
+	c := New(ts.URL, Options{})
+	defer c.Close()
+	ctx := context.Background()
+
+	manifest := func(tail string) []string {
+		return versioning.EncodeManifest([]versioning.ManifestEntry{
+			{Path: "docs/guide.md", Lines: []string{"guide"}},
+			{Path: "src/main.go", Lines: []string{"package main", tail}},
+		})
+	}
+	root, err := c.Commit(ctx, versioning.NoParent, manifest("// v0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := c.Commit(ctx, root.ID, manifest("// left"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := c.Commit(ctx, root.ID, manifest("// right"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := c.CommitMerge(ctx, []versioning.NodeID{left.ID, right.ID}, manifest("// merged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Versions != 4 {
+		t.Fatalf("merge commit left %d versions, want 4", merged.Versions)
+	}
+
+	d, err := c.Diff(ctx, left.ID, right.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.A != left.ID || d.B != right.ID || d.AddedLines != 1 || d.RemovedLines != 1 {
+		t.Fatalf("diff %d..%d summary +%d -%d, want +1 -1", d.A, d.B, d.AddedLines, d.RemovedLines)
+	}
+	// Self-diff is the empty script; unknown versions are 404s.
+	if d, err = c.Diff(ctx, merged.ID, merged.ID); err != nil || len(d.Ops) != 0 {
+		t.Fatalf("self-diff: ops=%d err=%v", len(d.Ops), err)
+	}
+	if _, err = c.Diff(ctx, left.ID, 99); err == nil {
+		t.Fatal("diff against unknown version succeeded")
+	} else if ae, ok := err.(*APIError); !ok || ae.Status != http.StatusNotFound {
+		t.Fatalf("diff against unknown version: %v, want 404", err)
+	}
+
+	scoped, err := c.CheckoutPath(ctx, merged.ID, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := versioning.ParseManifest(scoped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Path != "src/main.go" {
+		t.Fatalf("src scope got %+v", entries)
+	}
+	if !reflect.DeepEqual(entries[0].Lines, []string{"package main", "// merged"}) {
+		t.Fatalf("scoped content drifted: %q", entries[0].Lines)
+	}
+	// An empty scope falls back to the full checkout.
+	full, err := c.CheckoutPath(ctx, merged.ID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, manifest("// merged")) {
+		t.Fatalf("empty scope narrowed the checkout: %q", full)
+	}
+}

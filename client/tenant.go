@@ -51,6 +51,12 @@ func (tc *TenantClient) Commit(ctx context.Context, parent versioning.NodeID, li
 	return tc.c.commitPath(ctx, tc.prefix, parent, lines)
 }
 
+// CommitMerge appends a multi-parent merge version to this tenant
+// (parents[0] primary, further parents become candidate delta edges).
+func (tc *TenantClient) CommitMerge(ctx context.Context, parents []versioning.NodeID, lines []string) (CommitResult, error) {
+	return tc.c.commitMergePath(ctx, tc.prefix, parents, lines)
+}
+
 // Checkout reconstructs version id of this tenant. Concurrent calls on
 // the same view within the coalescing window ride one batch request.
 func (tc *TenantClient) Checkout(ctx context.Context, id versioning.NodeID) ([]string, error) {
@@ -58,6 +64,17 @@ func (tc *TenantClient) Checkout(ctx context.Context, id versioning.NodeID) ([]s
 		return tc.co.checkout(ctx, id)
 	}
 	return tc.c.checkoutDirect(ctx, tc.prefix, id)
+}
+
+// CheckoutPath reconstructs version id of this tenant narrowed to one
+// manifest path scope.
+func (tc *TenantClient) CheckoutPath(ctx context.Context, id versioning.NodeID, scope string) ([]string, error) {
+	return tc.c.checkoutScoped(ctx, tc.prefix, id, scope)
+}
+
+// Diff fetches the edit script between two of this tenant's versions.
+func (tc *TenantClient) Diff(ctx context.Context, a, b versioning.NodeID) (DiffResult, error) {
+	return tc.c.diffPath(ctx, tc.prefix, a, b)
 }
 
 // CheckoutBatch reconstructs many versions of this tenant in one

@@ -24,6 +24,11 @@
 //
 //	benchgate -load-base BENCH_load_multi.json -load-head /tmp/head.json -threshold 1.25
 //
+// -allow-missing-base makes a nonexistent baseline file a note instead
+// of a failure: the gate prints what it skipped and exits 0. CI uses it
+// for baselines that land in the same PR as the job that gates them
+// (e.g. BENCH_import.json) — the first run has nothing to compare.
+//
 // Metrics lint (-metrics): validates a Prometheus text exposition — a
 // file, or fetched live when the argument starts with http:// or
 // https:// — with the pure-Go checker in internal/metrics (a
@@ -57,6 +62,7 @@ func main() {
 		metricsIn   = flag.String("metrics", "", "lint a Prometheus text exposition: a file path, or an http(s):// URL fetched live")
 		threshold   = flag.Float64("threshold", 1.25, "max allowed slowdown (head/base): bench geomean, or per-mix commit p99 in load mode")
 		checkoutThr = flag.Float64("checkout-threshold", 2.0, "load mode: max allowed per-mix checkout p99 slowdown (looser than -threshold because checkouts under load are noisier; negative disables)")
+		allowNoBase = flag.Bool("allow-missing-base", false, "load mode: a nonexistent -load-base file skips the gate (exit 0) instead of failing — for baselines landing in the same PR")
 	)
 	flag.Parse()
 	var err error
@@ -71,7 +77,7 @@ func main() {
 		if *basePath != "" || *headPath != "" {
 			err = fmt.Errorf("-base/-head and -load-base/-load-head are separate modes; pick one")
 		} else {
-			err = runLoad(*loadBase, *loadHead, *threshold, *checkoutThr)
+			err = runLoad(*loadBase, *loadHead, *threshold, *checkoutThr, *allowNoBase)
 		}
 	default:
 		err = run(*basePath, *headPath, *threshold)
@@ -127,12 +133,16 @@ func run(basePath, headPath string, threshold float64) error {
 // load smoke. Checkout p99 under load is noisier than commit p99, so
 // its gate defaults to 2x and can be disabled (checkoutThreshold <= 0)
 // without losing the commit gate.
-func runLoad(basePath, headPath string, threshold, checkoutThreshold float64) error {
+func runLoad(basePath, headPath string, threshold, checkoutThreshold float64, allowMissingBase bool) error {
 	if basePath == "" || headPath == "" {
 		return fmt.Errorf("both -load-base and -load-head are required")
 	}
 	base, err := loadreport.Load(basePath)
 	if err != nil {
+		if allowMissingBase && os.IsNotExist(err) {
+			fmt.Printf("baseline %s does not exist; gate skipped (-allow-missing-base)\n", basePath)
+			return nil
+		}
 		return err
 	}
 	head, err := loadreport.Load(headPath)

@@ -39,12 +39,12 @@ func writeReport(t *testing.T, name string, commitP99, checkoutP99 float64, errs
 func TestLoadGatePasses(t *testing.T) {
 	base := writeReport(t, "base.json", 100_000, 5_000, 0)
 	head := writeReport(t, "head.json", 110_000, 8_000, 0) // commit +10%, checkout +60%: both within gates
-	if err := runLoad(base, head, 1.25, 2.0); err != nil {
+	if err := runLoad(base, head, 1.25, 2.0, false); err != nil {
 		t.Fatalf("within-threshold head failed the gate: %v", err)
 	}
 	// A dramatic improvement obviously passes too.
 	better := writeReport(t, "better.json", 30_000, 1_000, 0)
-	if err := runLoad(base, better, 1.25, 2.0); err != nil {
+	if err := runLoad(base, better, 1.25, 2.0, false); err != nil {
 		t.Fatalf("improved head failed the gate: %v", err)
 	}
 }
@@ -52,7 +52,7 @@ func TestLoadGatePasses(t *testing.T) {
 func TestLoadGateFailsOnCommitRegression(t *testing.T) {
 	base := writeReport(t, "base.json", 100_000, 5_000, 0)
 	head := writeReport(t, "head.json", 140_000, 5_000, 0) // commit +40%
-	err := runLoad(base, head, 1.25, 2.0)
+	err := runLoad(base, head, 1.25, 2.0, false)
 	if err == nil {
 		t.Fatal("40%% commit p99 regression passed a 25%% gate")
 	}
@@ -64,7 +64,7 @@ func TestLoadGateFailsOnCommitRegression(t *testing.T) {
 func TestLoadGateFailsOnCheckoutRegression(t *testing.T) {
 	base := writeReport(t, "base.json", 100_000, 5_000, 0)
 	head := writeReport(t, "head.json", 100_000, 12_000, 0) // checkout +140%
-	err := runLoad(base, head, 1.25, 2.0)
+	err := runLoad(base, head, 1.25, 2.0, false)
 	if err == nil {
 		t.Fatal("2.4x checkout p99 regression passed a 2x gate")
 	}
@@ -72,7 +72,7 @@ func TestLoadGateFailsOnCheckoutRegression(t *testing.T) {
 		t.Fatalf("gate error does not name the checkout op: %v", err)
 	}
 	// A negative checkout threshold demotes checkout p99 to info-only.
-	if err := runLoad(base, head, 1.25, -1); err != nil {
+	if err := runLoad(base, head, 1.25, -1, false); err != nil {
 		t.Fatalf("disabled checkout gate still failed: %v", err)
 	}
 }
@@ -80,18 +80,38 @@ func TestLoadGateFailsOnCheckoutRegression(t *testing.T) {
 func TestLoadGateFailsOnErrors(t *testing.T) {
 	base := writeReport(t, "base.json", 100_000, 5_000, 0)
 	head := writeReport(t, "head.json", 100_000, 5_000, 3)
-	if err := runLoad(base, head, 1.25, 2.0); err == nil {
+	if err := runLoad(base, head, 1.25, 2.0, false); err == nil {
 		t.Fatal("head run with errors passed the gate")
+	}
+}
+
+func TestLoadGateAllowsMissingBase(t *testing.T) {
+	head := writeReport(t, "head.json", 100_000, 5_000, 0)
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if err := runLoad(missing, head, 1.25, 2.0, true); err != nil {
+		t.Fatalf("-allow-missing-base still failed on a missing baseline: %v", err)
+	}
+	// Without the flag a missing baseline stays an error, and the flag
+	// only forgives nonexistence — not an unreadable baseline.
+	if err := runLoad(missing, head, 1.25, 2.0, false); err == nil {
+		t.Fatal("missing baseline passed without -allow-missing-base")
+	}
+	garbled := filepath.Join(t.TempDir(), "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLoad(garbled, head, 1.25, 2.0, true); err == nil {
+		t.Fatal("corrupt baseline passed under -allow-missing-base")
 	}
 }
 
 func TestLoadGateRefusesEmptyComparison(t *testing.T) {
 	base := writeReport(t, "base.json", 0, 0, 0) // zero p99s: nothing comparable
 	head := writeReport(t, "head.json", 100_000, 5_000, 0)
-	if err := runLoad(base, head, 1.25, 2.0); err == nil {
+	if err := runLoad(base, head, 1.25, 2.0, false); err == nil {
 		t.Fatal("gate with no comparable p99 reported success")
 	}
-	if err := runLoad("", "", 1.25, 2.0); err == nil {
+	if err := runLoad("", "", 1.25, 2.0, false); err == nil {
 		t.Fatal("gate with no inputs reported success")
 	}
 }

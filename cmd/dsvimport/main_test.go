@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gitimport"
+	"repro/serve"
+	"repro/versioning"
+)
+
+const fixtureDir = "../../internal/gitimport/testdata/fixture.git"
+
+func loadSummary(t *testing.T, path string) summary {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// TestRunAnalyze imports the fixture into memory and checks the plan
+// summary the analyze sink reports.
+func TestRunAnalyze(t *testing.T) {
+	if !gitimport.Available() {
+		t.Skip("git binary not on PATH")
+	}
+	out := filepath.Join(t.TempDir(), "sum.json")
+	if err := run(config{src: fixtureDir, ref: "HEAD", maxBlob: 1 << 20, out: out, repoName: "fx"}); err != nil {
+		t.Fatal(err)
+	}
+	sum := loadSummary(t, out)
+	if sum.Commits != 13 || sum.Merges != 2 || sum.Versions != 13 {
+		t.Fatalf("analyze summary %+v, want 13 commits / 2 merges / 13 versions", sum)
+	}
+	if sum.StorageCost <= 0 || sum.SumRetrieval <= 0 {
+		t.Fatalf("analyze mode reported no plan costs: %+v", sum)
+	}
+}
+
+// TestRunHTTP imports the fixture into a live single-repo daemon over
+// the wire and verifies the server ends up with every version.
+func TestRunHTTP(t *testing.T) {
+	if !gitimport.Available() {
+		t.Skip("git binary not on PATH")
+	}
+	repo := versioning.NewRepository("t", versioning.RepositoryOptions{
+		ReplanEvery:        -1,
+		MaintenanceWorkers: -1,
+		EngineOptions:      versioning.EngineOptions{DisableILP: true},
+	})
+	defer repo.Close()
+	ts := httptest.NewServer(serve.New(repo, serve.Options{}))
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "sum.json")
+	cfg := config{src: fixtureDir, ref: "HEAD", maxBlob: 1 << 20, addr: ts.URL, replan: true, out: out}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sum := loadSummary(t, out)
+	if sum.Versions != 13 {
+		t.Fatalf("daemon holds %d versions after import, want 13", sum.Versions)
+	}
+	if sum.LastVersion != 12 {
+		t.Fatalf("tip mapped to version %d, want 12", sum.LastVersion)
+	}
+	if repo.Stats().Versions != 13 {
+		t.Fatalf("server repo has %d versions", repo.Stats().Versions)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gitimport"
+)
+
+// TestRunLoadImportAndDiffMix preloads the generator's target from the
+// importer's fixture history, then drives the diff mix against it.
+func TestRunLoadImportAndDiffMix(t *testing.T) {
+	if !gitimport.Available() {
+		t.Skip("git binary not on PATH")
+	}
+	cfg := config{
+		addr:        testTarget(t),
+		mixes:       []string{"diff", "checkout"},
+		dist:        "zipf",
+		zipfS:       1.2,
+		duration:    250 * time.Millisecond,
+		concurrency: 4,
+		preload:     1, // the import supplies the real versions
+		seed:        5,
+		timeout:     5 * time.Second,
+		coalesce:    -1,
+		importDir:   "../../internal/gitimport/testdata/fixture.git",
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ImportedCommits != 13 || rep.ImportedMerges != 2 {
+		t.Fatalf("report shows %d commits / %d merges imported, want 13 / 2",
+			rep.ImportedCommits, rep.ImportedMerges)
+	}
+	if len(rep.Mixes) != 2 {
+		t.Fatalf("got %d mix reports, want 2", len(rep.Mixes))
+	}
+	dm := rep.Mixes[0]
+	if dm.Diffs == 0 || dm.Diffs != dm.Ops || dm.Checkouts != 0 || dm.Commits != 0 {
+		t.Fatalf("diff mix ran the wrong ops: %+v", dm)
+	}
+	if dm.Errors > 0 {
+		t.Fatalf("diff mix errored %d times against a healthy server", dm.Errors)
+	}
+	if dm.PerOp["diff"].Ops != dm.Diffs {
+		t.Fatalf("per-op diff report inconsistent: %+v", dm.PerOp)
+	}
+	// The imported manifests back the checkout mix too.
+	cm := rep.Mixes[1]
+	if cm.Checkouts == 0 || cm.Errors > 0 {
+		t.Fatalf("checkout mix over imported history: %+v", cm)
+	}
+}

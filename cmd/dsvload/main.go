@@ -28,6 +28,13 @@
 //	checkout  100% checkouts over the committed versions
 //	commit    100% commits (each a child of a random existing version)
 //	mixed     90% checkout / 10% commit (tunable via -commit-ratio)
+//	diff      100% GET /diff/{a}/{b} over random version pairs (one end
+//	          popularity-picked, so zipf keeps a hot diff head)
+//
+// -import-dir DIR preloads each target with a real git repository's
+// history instead of (before topping up with) the synthetic preload:
+// commits become manifest-encoded versions with true parent edges,
+// merges included, via the same importer as cmd/dsvimport.
 //
 // -dist zipf skews checkout popularity toward recent versions (rank 0 =
 // newest) with exponent -zipf-s, the adversarial pattern that makes
@@ -62,6 +69,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/gitimport"
 	"repro/internal/metrics"
 	"repro/versioning"
 )
@@ -85,6 +93,8 @@ type config struct {
 	tenantDist  string
 	traceSample float64
 	etag        bool
+	importDir   string
+	importMax   int
 }
 
 // validate rejects configurations that would silently measure
@@ -144,6 +154,8 @@ func main() {
 	flag.StringVar(&cfg.tenantDist, "tenant-dist", "zipf", "tenant popularity with -tenants: zipf|uniform")
 	flag.Float64Var(&cfg.traceSample, "trace-sample", 0, "fraction of requests traced end-to-end; the report gains a per-phase server-side latency breakdown")
 	flag.BoolVar(&cfg.etag, "etag", false, "enable the client-side ETag validator cache: repeat checkouts revalidate with If-None-Match and come back as bodyless 304s")
+	flag.StringVar(&cfg.importDir, "import-dir", "", "preload each target with this git repository's real history (manifest versions, merge edges included) before any synthetic preload")
+	flag.IntVar(&cfg.importMax, "import-max", 0, "cap -import-dir at the oldest N commits (0 = the whole history)")
 	flag.Parse()
 	for _, m := range strings.Split(mixList, ",") {
 		cfg.mixes = append(cfg.mixes, strings.TrimSpace(m))
@@ -182,7 +194,9 @@ func main() {
 // TenantClient satisfy — one target the workers drive.
 type api interface {
 	Commit(ctx context.Context, parent versioning.NodeID, lines []string) (client.CommitResult, error)
+	CommitMerge(ctx context.Context, parents []versioning.NodeID, lines []string) (client.CommitResult, error)
 	Checkout(ctx context.Context, id versioning.NodeID) ([]string, error)
+	Diff(ctx context.Context, a, b versioning.NodeID) (client.DiffResult, error)
 }
 
 // target is one namespace under load: its API view and the live count
@@ -230,6 +244,8 @@ func runLoad(cfg config) (Report, error) {
 			st.checkoutBytes.ObserveValue(n)
 		} else if strings.Contains(path, "/commit") {
 			st.commitBytes.ObserveValue(n)
+		} else if strings.Contains(path, "/diff/") {
+			st.diffBytes.ObserveValue(n)
 		}
 	}
 	c := client.New(cfg.addr, copt)
@@ -239,7 +255,17 @@ func runLoad(cfg config) (Report, error) {
 		return Report{}, fmt.Errorf("probing %s: %w", cfg.addr, err)
 	}
 	rng := rand.New(rand.NewSource(cfg.seed))
-	targets, err := buildTargets(ctx, c, cfg, rng)
+	var hist *gitimport.History
+	if cfg.importDir != "" {
+		h, err := gitimport.Load(ctx, cfg.importDir, gitimport.Options{MaxCommits: cfg.importMax})
+		hist = h
+		if err != nil {
+			return Report{}, fmt.Errorf("loading -import-dir: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "dsvload: imported history %s: %d commits (%d merges)\n",
+			cfg.importDir, len(hist.Commits), hist.Merges())
+	}
+	targets, err := buildTargets(ctx, c, cfg, rng, hist)
 	if err != nil {
 		return Report{}, err
 	}
@@ -265,6 +291,11 @@ func runLoad(cfg config) (Report, error) {
 	}
 	rep.TraceSample = cfg.traceSample
 	rep.ETagCache = cfg.etag
+	if hist != nil {
+		rep.ImportDir = cfg.importDir
+		rep.ImportedCommits = len(hist.Commits)
+		rep.ImportedMerges = hist.Merges()
+	}
 	for i, mix := range cfg.mixes {
 		mr, err := runMix(c, tc, &active, targets, cfg, mix, cfg.seed+int64(i)*7919)
 		if err != nil {
@@ -279,13 +310,16 @@ func runLoad(cfg config) (Report, error) {
 // its share of -preload committed versions: the single repository, or
 // one target per tenant (every tenant gets at least one version, so
 // checkouts always have something to hit).
-func buildTargets(ctx context.Context, c *client.Client, cfg config, rng *rand.Rand) ([]*target, error) {
+func buildTargets(ctx context.Context, c *client.Client, cfg config, rng *rand.Rand, hist *gitimport.History) ([]*target, error) {
 	if cfg.tenants == 0 {
 		versions, err := c.Healthz(ctx)
 		if err != nil {
 			return nil, err
 		}
 		t := &target{api: c, name: ""}
+		if versions, err = importTarget(ctx, t, hist, versions); err != nil {
+			return nil, err
+		}
 		if err := preloadTarget(ctx, t, versions, cfg.preload, rng); err != nil {
 			return nil, err
 		}
@@ -303,12 +337,48 @@ func buildTargets(ctx context.Context, c *client.Client, cfg config, rng *rand.R
 		if err != nil {
 			return nil, fmt.Errorf("probing tenant %s: %w", t.name, err)
 		}
-		if err := preloadTarget(ctx, t, st.Versions, perTenant, rng); err != nil {
+		versions := st.Versions
+		if versions, err = importTarget(ctx, t, hist, versions); err != nil {
+			return nil, err
+		}
+		if err := preloadTarget(ctx, t, versions, perTenant, rng); err != nil {
 			return nil, err
 		}
 		targets[i] = t
 	}
 	return targets, nil
+}
+
+// importTarget replays an imported git history (if any) into an empty
+// target, preserving parent edges and merge topology, and returns the
+// target's resulting version count. A target that already holds
+// versions is left alone — re-running dsvload against a warm daemon
+// must not duplicate the whole history.
+func importTarget(ctx context.Context, t *target, hist *gitimport.History, have int) (int, error) {
+	if hist == nil || have > 0 {
+		return have, nil
+	}
+	_, err := hist.Replay(ctx, func(ctx context.Context, parents []versioning.NodeID, lines []string) (versioning.NodeID, error) {
+		var cr client.CommitResult
+		var err error
+		switch len(parents) {
+		case 0:
+			cr, err = t.api.Commit(ctx, versioning.NoParent, lines)
+		case 1:
+			cr, err = t.api.Commit(ctx, parents[0], lines)
+		default:
+			cr, err = t.api.CommitMerge(ctx, parents, lines)
+		}
+		if err != nil {
+			return 0, err
+		}
+		have = cr.Versions
+		return cr.ID, nil
+	})
+	if err != nil {
+		return have, fmt.Errorf("importing history into %q: %w", t.name, err)
+	}
+	return have, nil
 }
 
 // preloadTarget commits until t holds at least want versions.
@@ -328,29 +398,34 @@ func preloadTarget(ctx context.Context, t *target, have, want int, rng *rand.Ran
 	return nil
 }
 
-// mixRatio maps a mix name to its commit fraction.
+// mixRatio maps a mix name to its commit fraction ("diff" is all reads
+// and carries ratio 0; runMix switches its read op to /diff).
 func mixRatio(cfg config, mix string) (float64, error) {
 	switch mix {
-	case "checkout":
+	case "checkout", "diff":
 		return 0, nil
 	case "commit":
 		return 1, nil
 	case "mixed":
 		return cfg.commitRatio, nil
 	default:
-		return 0, fmt.Errorf("unknown mix (want checkout|commit|mixed)")
+		return 0, fmt.Errorf("unknown mix (want checkout|commit|mixed|diff)")
 	}
 }
 
 // loadState is the per-mix shared state the workers drive.
 type loadState struct {
 	targets       []*target
+	diffMode      bool // read ops are GET /diff/{a}/{b} instead of checkouts
 	checkoutHG    metrics.Histogram
 	commitHG      metrics.Histogram
+	diffHG        metrics.Histogram
 	checkoutBytes metrics.Histogram // response wire sizes via OnResponse
 	commitBytes   metrics.Histogram
+	diffBytes     metrics.Histogram
 	checkouts     atomic.Int64
 	commits       atomic.Int64
+	diffs         atomic.Int64
 	errors        atomic.Int64
 	throttled     atomic.Int64 // 429 shed responses (reported separately)
 	dropped       atomic.Int64 // open-loop arrivals with no capacity left
@@ -368,7 +443,7 @@ func runMix(c *client.Client, tc *traceCollector, active *atomic.Pointer[loadSta
 			return MixReport{}, fmt.Errorf("target %q has no versions (use -preload)", t.name)
 		}
 	}
-	st := &loadState{targets: targets}
+	st := &loadState{targets: targets, diffMode: mix == "diff"}
 	active.Store(st)
 	defer active.Store(nil)
 	reval0 := c.Revalidated()
@@ -433,12 +508,13 @@ func runMix(c *client.Client, tc *traceCollector, active *atomic.Pointer[loadSta
 		DurationSeconds: elapsed.Seconds(),
 		Checkouts:       st.checkouts.Load(),
 		Commits:         st.commits.Load(),
+		Diffs:           st.diffs.Load(),
 		Errors:          st.errors.Load(),
 		Throttled:       st.throttled.Load(),
 		Dropped:         st.dropped.Load(),
 		PerOp:           map[string]OpReport{},
 	}
-	mr.Ops = mr.Checkouts + mr.Commits
+	mr.Ops = mr.Checkouts + mr.Commits + mr.Diffs
 	mr.Revalidated = c.Revalidated() - reval0
 	if elapsed > 0 {
 		mr.ThroughputOpsPerSec = float64(mr.Ops) / elapsed.Seconds()
@@ -458,12 +534,21 @@ func runMix(c *client.Client, tc *traceCollector, active *atomic.Pointer[loadSta
 			ResponseSize: sizeSummary(&st.commitBytes),
 		}
 	}
+	if mr.Diffs > 0 {
+		mr.PerOp["diff"] = OpReport{
+			Ops:          mr.Diffs,
+			Latency:      st.diffHG.Summary(),
+			ResponseSize: sizeSummary(&st.diffBytes),
+		}
+	}
 	merged.Merge(&st.checkoutHG)
 	merged.Merge(&st.commitHG)
+	merged.Merge(&st.diffHG)
 	mr.Latency = merged.Summary()
 	var mergedBytes metrics.Histogram
 	mergedBytes.Merge(&st.checkoutBytes)
 	mergedBytes.Merge(&st.commitBytes)
+	mergedBytes.Merge(&st.diffBytes)
 	if sz := sizeSummary(&mergedBytes); sz != nil {
 		mr.ResponseSize = sz
 		mr.ResponseBytes = sz.TotalBytes
@@ -490,6 +575,21 @@ func (st *loadState) step(ctx context.Context, rng *rand.Rand, t *target, pick *
 			return
 		}
 		t.versions.Store(int64(cr.Versions))
+		return
+	}
+	if st.diffMode {
+		// One endpoint is popularity-picked (a hot head under zipf keeps
+		// the diff response cache honest), the other uniform over the
+		// whole id space.
+		a := versioning.NodeID(pick.id(t.versions.Load()))
+		b := versioning.NodeID(rng.Int63n(t.versions.Load()))
+		t0 := time.Now()
+		_, err := t.api.Diff(ctx, a, b)
+		st.diffHG.Observe(time.Since(t0))
+		st.diffs.Add(1)
+		if err != nil {
+			st.recordErr(err)
+		}
 		return
 	}
 	id := versioning.NodeID(pick.id(t.versions.Load()))

@@ -12,6 +12,14 @@
 // history is ingested, the repository is closed and reopened from the
 // commit journal (a simulated daemon restart), and every version is
 // verified against the recovered store.
+//
+// A second act swaps the synthetic history for a real one: when the
+// working directory is a git checkout (this repository's own, say), the
+// demo imports that history through internal/gitimport — merge commits
+// and all — boots a dsvd server on a loopback port, and asks it for a
+// /diff edit script and a path-scoped checkout of the imported tip.
+// -import-src points the act at another repository; -import-src ""
+// skips it.
 package main
 
 import (
@@ -19,17 +27,26 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"reflect"
 
+	"repro/client"
+	"repro/internal/gitimport"
+	"repro/serve"
 	"repro/versioning"
 )
 
 func main() {
 	dataDir := flag.String("data-dir", "", "run on the durable disk backend rooted here and verify a restart round-trip")
+	importSrc := flag.String("import-src", ".", "git repository whose real history act two imports and serves (\"\" skips the act)")
+	importMax := flag.Int("import-max", 200, "cap on imported commits (oldest first; 0 = all)")
 	flag.Parse()
 
 	ctx := context.Background()
-	src := versioning.GenerateRepo("demo-repo", 120, 42)
+	// Act two replays a real history, so the synthetic preload here only
+	// needs to be big enough to exercise re-planning and the cache.
+	src := versioning.GenerateRepo("demo-repo", 80, 42)
 	g := src.Graph
 	head := versioning.NodeID(g.N() - 1)
 	fmt.Printf("history: %d commits, %d candidate deltas, full materialization %d bytes\n",
@@ -104,4 +121,72 @@ func main() {
 		float64(st.FullStorage)/float64(st.StoredBytes))
 	fmt.Printf("traffic: %d checkouts, %d cache hits, %d delta applies, %d re-plans\n",
 		st.Checkouts, st.CacheHits, st.DeltaApplies, st.Replans)
+
+	if *importSrc != "" {
+		realHistoryAct(ctx, *importSrc, *importMax)
+	}
+}
+
+// realHistoryAct imports a real git history and serves the two
+// manifest-aware read scenarios — /diff/{a}/{b} and /checkout/{id}?path=
+// — from a dsvd server booted on a loopback port.
+func realHistoryAct(ctx context.Context, src string, maxCommits int) {
+	if !gitimport.Available() {
+		fmt.Printf("\nreal-history act skipped: no git binary on PATH\n")
+		return
+	}
+	h, err := gitimport.Load(ctx, src, gitimport.Options{MaxCommits: maxCommits})
+	if err != nil {
+		fmt.Printf("\nreal-history act skipped: %v\n", err)
+		return
+	}
+	fmt.Printf("\nimported real history from %s: %d commits, %d merges, %d unique blobs\n",
+		src, len(h.Commits), h.Merges(), h.UniqueBlobs)
+
+	repo := versioning.NewRepository("imported", versioning.RepositoryOptions{
+		Problem:     versioning.ProblemMSR,
+		ReplanEvery: 25,
+	})
+	defer repo.Close()
+	ids, err := h.Replay(ctx, func(ctx context.Context, parents []versioning.NodeID, lines []string) (versioning.NodeID, error) {
+		if len(parents) == 0 {
+			return repo.Commit(ctx, versioning.NoParent, lines)
+		}
+		return repo.CommitMerge(ctx, parents, lines)
+	})
+	if err != nil {
+		log.Fatalf("replaying %s: %v", src, err)
+	}
+
+	// Serve the imported repository the way production would: a dsvd
+	// handler on a loopback listener, queried through the typed client.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: serve.New(repo, serve.Options{})}
+	go hs.Serve(ln)
+	defer hs.Close()
+	c := client.New("http://"+ln.Addr().String(), client.Options{})
+	defer c.Close()
+
+	tip := ids[len(ids)-1]
+	prev := ids[len(ids)-2]
+	d, err := c.Diff(ctx, prev, tip)
+	if err != nil {
+		log.Fatalf("GET /diff/%d/%d: %v", prev, tip, err)
+	}
+	fmt.Printf("GET /diff/%d/%d: %d ops, +%d/-%d lines between the last two imported commits\n",
+		prev, tip, len(d.Ops), d.AddedLines, d.RemovedLines)
+
+	scoped, err := c.CheckoutPath(ctx, tip, "examples")
+	if err != nil {
+		log.Fatalf("GET /checkout/%d?path=examples: %v", tip, err)
+	}
+	entries, err := versioning.ParseManifest(scoped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET /checkout/%d?path=examples: %d files under examples/ at the imported tip\n",
+		tip, len(entries))
 }

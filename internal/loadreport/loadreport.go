@@ -36,8 +36,15 @@ type Report struct {
 	// ETagCache reports whether the client-side ETag validator cache was
 	// on (dsvload -etag): repeat checkouts revalidate with If-None-Match
 	// and matching versions come back as bodyless 304s.
-	ETagCache bool        `json:"etag_cache,omitempty"`
-	Mixes     []MixReport `json:"mixes"`
+	ETagCache bool `json:"etag_cache,omitempty"`
+	// ImportDir, when set, means every target was preloaded with that
+	// git repository's real history (dsvload -import-dir):
+	// ImportedCommits versions with true parent edges, ImportedMerges of
+	// them multi-parent merge commits.
+	ImportDir       string      `json:"import_dir,omitempty"`
+	ImportedCommits int         `json:"imported_commits,omitempty"`
+	ImportedMerges  int         `json:"imported_merges,omitempty"`
+	Mixes           []MixReport `json:"mixes"`
 }
 
 // MixReport summarizes one workload mix.
@@ -51,6 +58,8 @@ type MixReport struct {
 	Ops       int64 `json:"ops"`
 	Checkouts int64 `json:"checkouts"`
 	Commits   int64 `json:"commits"`
+	// Diffs counts GET /diff/{a}/{b} operations (the "diff" mix).
+	Diffs     int64 `json:"diffs,omitempty"`
 	Errors    int64 `json:"errors"`
 	Throttled int64 `json:"throttled"` // 429-shed responses (admission control working)
 	Dropped   int64 `json:"dropped"`   // open-loop arrivals beyond the backlog

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/diff"
+	"repro/internal/trace"
+	"repro/versioning"
+)
+
+// diffOp is one edit-script command on the wire. Exactly one of N or
+// Lines is meaningful per op: keep/delete carry a line count, insert
+// carries the inserted lines.
+type diffOp struct {
+	Op    string   `json:"op"` // "keep" | "delete" | "insert"
+	N     int      `json:"n,omitempty"`
+	Lines []string `json:"lines,omitempty"`
+}
+
+// diffResponse is GET /diff/{a}/{b}: the edit script transforming
+// version a's lines into version b's, plus its summary sizes. Applying
+// Ops to a checkout of A reproduces B exactly.
+type diffResponse struct {
+	A   versioning.NodeID `json:"a"`
+	B   versioning.NodeID `json:"b"`
+	Ops []diffOp          `json:"ops"`
+	// AddedLines / RemovedLines summarize the script (keeps excluded),
+	// so a client can size a change without walking Ops.
+	AddedLines   int `json:"added_lines"`
+	RemovedLines int `json:"removed_lines"`
+}
+
+func buildDiffResponse(a, b versioning.NodeID, d diff.Delta) diffResponse {
+	out := diffResponse{A: a, B: b, Ops: []diffOp{}}
+	for _, c := range d.Cmds {
+		switch c.Op {
+		case diff.OpKeep:
+			out.Ops = append(out.Ops, diffOp{Op: "keep", N: c.N})
+		case diff.OpDelete:
+			out.Ops = append(out.Ops, diffOp{Op: "delete", N: c.N})
+			out.RemovedLines += c.N
+		case diff.OpInsert:
+			out.Ops = append(out.Ops, diffOp{Op: "insert", Lines: c.Lines})
+			out.AddedLines += len(c.Lines)
+		}
+	}
+	return out
+}
+
+// handleDiff serves the edit script between two versions. Both
+// endpoint checkouts ride the shared singleflight (and the store's
+// content cache), the Myers computation runs under a "diff.compute"
+// span, and the encoded response caches under its own kind with a
+// strong ETag — version content is immutable, so a (a, b) diff never
+// changes.
+func (s *Server) handleDiff(st *repoState, w http.ResponseWriter, r *http.Request) {
+	a64, errA := strconv.ParseInt(r.PathValue("a"), 10, 32)
+	b64, errB := strconv.ParseInt(r.PathValue("b"), 10, 32)
+	if errA != nil || errB != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad version ids %q, %q", r.PathValue("a"), r.PathValue("b"))})
+		return
+	}
+	a, b := versioning.NodeID(a64), versioning.NodeID(b64)
+	key := r.PathValue("a") + "\x00" + r.PathValue("b")
+	if e, ok := s.resp.get(respKindDiff, st.name, key); ok {
+		_, sp := trace.StartSpan(r.Context(), "cache.hit")
+		sp.End()
+		s.writeEncoded(w, r, e)
+		return
+	}
+	aLines, err := s.checkoutShared(st, r.Context(), a)
+	if err == nil && a != b {
+		var bLines []string
+		bLines, err = s.checkoutShared(st, r.Context(), b)
+		if err == nil {
+			_, dsp := trace.StartSpan(r.Context(), "diff.compute")
+			d := diff.Compute(aLines, bLines)
+			dsp.End()
+			s.diffComputed.Add(1)
+			s.finishDiff(st, w, r, key, buildDiffResponse(a, b, d))
+			return
+		}
+	}
+	if err != nil {
+		status := checkoutErrStatus(err)
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			status = http.StatusRequestTimeout
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	// a == b: the empty edit script, once a itself checked out (so an
+	// unknown version is still a 404, not a vacuous success).
+	s.finishDiff(st, w, r, key, diffResponse{A: a, B: b, Ops: []diffOp{}})
+}
+
+// finishDiff encodes, caches, and writes one diff response.
+func (s *Server) finishDiff(st *repoState, w http.ResponseWriter, r *http.Request, key string, resp diffResponse) {
+	e, err := encodeResponse(resp)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	s.resp.put(respKindDiff, st.name, key, e)
+	s.writeEncoded(w, r, e)
+}

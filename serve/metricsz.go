@@ -81,6 +81,8 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		e.Histogram("dsv_request_duration_seconds", "Handler latency (admission wait included).", row.latency, metrics.L("endpoint", row.name))
 	}
 	e.Counter("dsv_checkout_coalesced_total", "Checkout requests served by piggybacking on an in-flight identical request.", float64(s.coalesced.Load()))
+	e.Counter("dsv_checkout_path_scoped_total", "Checkout requests narrowed to a path scope (?path=).", float64(s.pathScoped.Load()))
+	e.Counter("dsv_diff_computed_total", "Diff responses computed rather than served from the encoded-response cache.", float64(s.diffComputed.Load()))
 
 	if s.resp != nil {
 		cs := s.resp.stats()

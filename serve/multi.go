@@ -14,7 +14,8 @@ import (
 // through mgr's namespace map:
 //
 //	POST /t/{tenant}/commit
-//	GET  /t/{tenant}/checkout/{id}
+//	GET  /t/{tenant}/checkout/{id}   (?path= narrows a manifest checkout)
+//	GET  /t/{tenant}/diff/{a}/{b}
 //	POST /t/{tenant}/checkout        (batch)
 //	POST /t/{tenant}/replan
 //	GET  /t/{tenant}/plan
@@ -43,6 +44,7 @@ func NewMulti(mgr *tenant.Manager, opt Options) *Server {
 	s.handleTenant("commit", "POST /t/{tenant}/commit", s.handleCommit)
 	s.handleTenant("checkout", "GET /t/{tenant}/checkout/{id}", s.handleCheckout)
 	s.handleTenant("checkout_batch", "POST /t/{tenant}/checkout", s.handleCheckoutBatch)
+	s.handleTenant("diff", "GET /t/{tenant}/diff/{a}/{b}", s.handleDiff)
 	s.handleTenant("replan", "POST /t/{tenant}/replan", s.handleReplan)
 	s.handleTenant("plan", "GET /t/{tenant}/plan", s.handlePlan)
 	s.handleTenant("stats", "GET /t/{tenant}/stats", s.handleStats)

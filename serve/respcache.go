@@ -11,16 +11,16 @@ import (
 	"sync"
 
 	"repro/internal/hotcache"
-	"repro/versioning"
 )
 
-// respCache caches fully assembled GET /checkout/{id} responses: the
-// encoded JSON wire bytes plus a strong ETag, keyed by (tenant,
-// version). Version content is immutable once committed, so entries
-// never invalidate — only the byte budget evicts them. On a hit the
-// handler skips the repository, the store, and the JSON encoder
-// entirely and answers with one Write (or a 304, if the client already
-// holds the bytes).
+// respCache caches fully assembled GET responses — full checkouts,
+// path-scoped checkouts, and diffs — as the encoded JSON wire bytes
+// plus a strong ETag, keyed by (kind, tenant, request key). Version
+// content is immutable once committed, so every cached response is
+// immutable too and entries never invalidate — only the byte budget
+// evicts them. On a hit the handler skips the repository, the store,
+// and the JSON encoder entirely and answers with one Write (or a 304,
+// if the client already holds the bytes).
 //
 // It runs on the same byte-accounted hotcache engine as the store's
 // content cache, so admission is frequency-gated once the budget is
@@ -53,18 +53,27 @@ func newRespCache(maxBytes int64) *respCache {
 	return &respCache{hc: hotcache.New(maxBytes, 0)}
 }
 
-// respKey scopes a version id to its tenant namespace ("" in
-// single-repo mode). NUL cannot appear in a tenant name, so keys
-// cannot collide across namespaces.
-func respKey(tenant string, id versioning.NodeID) string {
-	return tenant + "\x00" + strconv.FormatInt(int64(id), 10)
+// Response-cache kinds: each cacheable endpoint owns one, so a diff of
+// versions (3, 4) and a checkout of version 3 with ?path=4 can never
+// collide however their request keys are spelled.
+const (
+	respKindCheckout   = "co"   // GET /checkout/{id}; key = id
+	respKindPathScoped = "cop"  // GET /checkout/{id}?path=p; key = id \x00 p
+	respKindDiff       = "diff" // GET /diff/{a}/{b}; key = a \x00 b
+)
+
+// respKey scopes a request key to its endpoint kind and tenant
+// namespace ("" in single-repo mode). NUL cannot appear in a tenant
+// name or a kind, so keys cannot collide across namespaces or kinds.
+func respKey(kind, tenant, key string) string {
+	return kind + "\x00" + tenant + "\x00" + key
 }
 
-func (c *respCache) get(tenant string, id versioning.NodeID) (*cachedResp, bool) {
+func (c *respCache) get(kind, tenant, key string) (*cachedResp, bool) {
 	if c == nil {
 		return nil, false
 	}
-	v, ok := c.hc.Get(respKey(tenant, id))
+	v, ok := c.hc.Get(respKey(kind, tenant, key))
 	if !ok {
 		return nil, false
 	}
@@ -76,11 +85,11 @@ func (c *respCache) get(tenant string, id versioning.NodeID) (*cachedResp, bool)
 // the body itself.
 const cachedRespOverhead = 128
 
-func (c *respCache) put(tenant string, id versioning.NodeID, e *cachedResp) {
+func (c *respCache) put(kind, tenant, key string, e *cachedResp) {
 	if c == nil {
 		return
 	}
-	c.hc.Put(respKey(tenant, id), e, int64(len(e.body))+cachedRespOverhead)
+	c.hc.Put(respKey(kind, tenant, key), e, int64(len(e.body))+cachedRespOverhead)
 }
 
 func (c *respCache) stats() hotcache.Stats {

@@ -4,7 +4,10 @@
 // endpoints (New):
 //
 //	POST /commit         {"parent": -1, "lines": [...]} -> commitResponse
+//	                     ({"parents": [2, 5], ...} commits a multi-parent merge)
 //	GET  /checkout/{id}  -> checkoutResponse
+//	GET  /checkout/{id}?path=p  manifest checkout narrowed to one path scope
+//	GET  /diff/{a}/{b}   -> diffResponse: the edit script between two versions
 //	POST /checkout       {"ids": [0, 3, 7]} -> batch checkoutResponse list
 //	POST /replan         force a portfolio re-plan now
 //	GET  /plan           -> versioning.PlanSummary
@@ -30,15 +33,15 @@
 //     keyed by the tenant's open generation and dropped when the
 //     manager evicts the tenant, so a reopened tenant can never be
 //     served from a stale flight.
-//   - Encoded-response cache on GET /checkout/{id}: the assembled JSON
-//     wire bytes are cached per (tenant, version) under a byte budget
+//   - Encoded-response cache on the immutable GETs (/checkout/{id},
+//     path-scoped checkouts, /diff/{a}/{b}): the assembled JSON wire
+//     bytes are cached per (kind, tenant, request) under a byte budget
 //     (Options.RespCacheBytes) with frequency-gated admission, so a hot
-//     version is served with a single Write — no repository, store, or
-//     encoder work. Every checkout response carries a strong
-//     content-hash ETag and honors If-None-Match with 304, so a
-//     revalidating client pays no body bytes at all. Version content is
-//     immutable, so entries never invalidate — only eviction removes
-//     them.
+//     response is served with a single Write — no repository, store, or
+//     encoder work. Every cached response carries a strong content-hash
+//     ETag and honors If-None-Match with 304, so a revalidating client
+//     pays no body bytes at all. Version content is immutable, so
+//     entries never invalidate — only eviction removes them.
 //   - Per-endpoint metrics: request/error counts and log-linear latency
 //     histograms (internal/metrics) surfaced by /statsz and, in
 //     Prometheus exposition format, by /metricsz.
@@ -144,8 +147,10 @@ type Server struct {
 	checkoutTimeout time.Duration
 	coalesced       atomic.Int64 // follower requests served by a shared flight
 
-	resp        *respCache   // encoded checkout responses (nil = disabled)
-	notModified atomic.Int64 // checkout 304s answered from a client validator
+	resp         *respCache   // encoded responses for the immutable GETs (nil = disabled)
+	notModified  atomic.Int64 // 304s answered from a client validator
+	pathScoped   atomic.Int64 // checkouts narrowed by ?path=
+	diffComputed atomic.Int64 // diff responses computed (cache hits excluded)
 
 	tracer         *trace.Tracer
 	slowReq        time.Duration
@@ -174,6 +179,7 @@ func New(repo *versioning.Repository, opt Options) *Server {
 	s.handleRepo("commit", "POST /commit", s.handleCommit)
 	s.handleRepo("checkout", "GET /checkout/{id}", s.handleCheckout)
 	s.handleRepo("checkout_batch", "POST /checkout", s.handleCheckoutBatch)
+	s.handleRepo("diff", "GET /diff/{a}/{b}", s.handleDiff)
 	s.handleRepo("replan", "POST /replan", s.handleReplan)
 	s.handleRepo("plan", "GET /plan", s.handlePlan)
 	s.handleRepo("stats", "GET /stats", s.handleStats)
@@ -359,7 +365,12 @@ type commitRequest struct {
 	// Parent is the version the commit derives from; -1 or omitted
 	// commits a root.
 	Parent *versioning.NodeID `json:"parent"`
-	Lines  []string           `json:"lines"`
+	// Parents, when non-empty, commits a multi-parent merge instead:
+	// Parents[0] is the primary parent and each further parent adds a
+	// candidate delta edge (Parent is ignored). Real-history importers
+	// use this to preserve git merge topology.
+	Parents []versioning.NodeID `json:"parents,omitempty"`
+	Lines   []string            `json:"lines"`
 }
 
 type commitResponse struct {
@@ -405,11 +416,17 @@ func (s *Server) handleCommit(st *repoState, w http.ResponseWriter, r *http.Requ
 			return
 		}
 	}
-	parent := versioning.NoParent
-	if req.Parent != nil {
-		parent = *req.Parent
+	var id versioning.NodeID
+	var err error
+	if len(req.Parents) > 0 {
+		id, err = st.repo.CommitMerge(r.Context(), req.Parents, req.Lines)
+	} else {
+		parent := versioning.NoParent
+		if req.Parent != nil {
+			parent = *req.Parent
+		}
+		id, err = st.repo.Commit(r.Context(), parent, req.Lines)
 	}
-	id, err := st.repo.Commit(r.Context(), parent, req.Lines)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, versioning.ErrClosed) {
@@ -493,9 +510,19 @@ func (s *Server) handleCheckout(st *repoState, w http.ResponseWriter, r *http.Re
 		return
 	}
 	id := versioning.NodeID(id64)
+	// ?path= narrows a manifest checkout to one file or directory scope.
+	// Scoped responses cache under their own kind: the filtered body is
+	// immutable too, and a hot (version, path) pair skips both the
+	// reconstruction and the filter.
+	scope := r.URL.Query().Get("path")
+	kind, key := respKindCheckout, r.PathValue("id")
+	if scope != "" {
+		s.pathScoped.Add(1)
+		kind, key = respKindPathScoped, key+"\x00"+scope
+	}
 	// Hot path: the fully encoded response is cached. No repository,
 	// store, or JSON work — one header check and one Write (or a 304).
-	if e, ok := s.resp.get(st.name, id); ok {
+	if e, ok := s.resp.get(kind, st.name, key); ok {
 		_, sp := trace.StartSpan(r.Context(), "cache.hit")
 		sp.End()
 		s.writeEncoded(w, r, e)
@@ -510,12 +537,20 @@ func (s *Server) handleCheckout(st *repoState, w http.ResponseWriter, r *http.Re
 		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
+	if scope != "" {
+		// The full checkout rode the shared flight (and the store cache),
+		// so concurrent scopes of one version share a single
+		// reconstruction; only the cheap filter runs per scope.
+		_, fsp := trace.StartSpan(r.Context(), "checkout.filter")
+		lines = versioning.FilterManifest(lines, scope)
+		fsp.End()
+	}
 	e, err := encodeResponse(checkoutResponse{ID: id, Lines: lines})
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	s.resp.put(st.name, id, e)
+	s.resp.put(kind, st.name, key, e)
 	s.writeEncoded(w, r, e)
 }
 

@@ -23,8 +23,14 @@ type EndpointStats struct {
 	InFlight int64 `json:"in_flight"`
 	// Coalesced counts requests served by piggybacking on another
 	// in-flight identical request (checkout singleflight).
-	Coalesced int64                  `json:"coalesced,omitempty"`
-	Latency   metrics.LatencySummary `json:"latency"`
+	Coalesced int64 `json:"coalesced,omitempty"`
+	// PathScoped counts checkout requests narrowed by ?path= (checkout
+	// endpoint only).
+	PathScoped int64 `json:"path_scoped,omitempty"`
+	// Computed counts responses actually computed rather than served
+	// from the encoded-response cache (diff endpoint only).
+	Computed int64                  `json:"computed,omitempty"`
+	Latency  metrics.LatencySummary `json:"latency"`
 }
 
 // RespCacheStats is the encoded-response cache's /statsz entry: byte
@@ -124,6 +130,10 @@ func (s *Server) StatszSnapshot() Statsz {
 		}
 		if name == "checkout" {
 			es.Coalesced = s.coalesced.Load()
+			es.PathScoped = s.pathScoped.Load()
+		}
+		if name == "diff" {
+			es.Computed = s.diffComputed.Load()
 		}
 		out.Endpoints[name] = es
 	}

@@ -1,0 +1,107 @@
+package versioning
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestManifestEncodeParseRoundTrip(t *testing.T) {
+	entries := []ManifestEntry{
+		{Path: "src/main.go", Lines: []string{"package main", "", "func main() {}"}},
+		{Path: "README.md", Lines: []string{"# hello"}},
+		{Path: "src/util/empty.go", Lines: nil},
+	}
+	lines := EncodeManifest(entries)
+	if !IsManifest(lines) {
+		t.Fatalf("encoded manifest not recognized: %q", lines[0])
+	}
+	got, err := ParseManifest(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse returns path-sorted entries; nil and empty line slices are
+	// equivalent.
+	want := []string{"README.md", "src/main.go", "src/util/empty.go"}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d entries, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Path != want[i] {
+			t.Fatalf("entry %d path %q, want %q", i, e.Path, want[i])
+		}
+	}
+	if !reflect.DeepEqual(got[1].Lines, entries[0].Lines) {
+		t.Fatalf("src/main.go lines drifted: %q", got[1].Lines)
+	}
+	if len(got[2].Lines) != 0 {
+		t.Fatalf("empty file gained lines: %q", got[2].Lines)
+	}
+}
+
+func TestManifestEncodeDeterministic(t *testing.T) {
+	a := EncodeManifest([]ManifestEntry{{Path: "b", Lines: []string{"2"}}, {Path: "a", Lines: []string{"1"}}})
+	b := EncodeManifest([]ManifestEntry{{Path: "a", Lines: []string{"1"}}, {Path: "b", Lines: []string{"2"}}})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("entry order leaked into the encoding:\n%q\n%q", a, b)
+	}
+}
+
+func TestParseManifestRejectsGarbage(t *testing.T) {
+	if _, err := ParseManifest([]string{"just", "plain", "content"}); err == nil {
+		t.Fatal("non-manifest input parsed without error")
+	}
+	// Truncated: header claims more lines than remain.
+	bad := []string{manifestMagic, manifestHeaderPrefix + "5:a.txt", "only one"}
+	if _, err := ParseManifest(bad); err == nil {
+		t.Fatal("truncated manifest parsed without error")
+	}
+	// A stray content line where a header is expected.
+	bad = []string{manifestMagic, "not a header"}
+	if _, err := ParseManifest(bad); err == nil {
+		t.Fatal("headerless manifest parsed without error")
+	}
+}
+
+func TestFilterManifest(t *testing.T) {
+	lines := EncodeManifest([]ManifestEntry{
+		{Path: "cmd/a.go", Lines: []string{"a1", "a2"}},
+		{Path: "cmd/sub/b.go", Lines: []string{"b1"}},
+		{Path: "cmdx/c.go", Lines: []string{"c1"}},
+		{Path: "top.txt", Lines: []string{"t1"}},
+	})
+	paths := func(ls []string) []string {
+		es, err := ParseManifest(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, e := range es {
+			out = append(out, e.Path)
+		}
+		return out
+	}
+	// Directory prefix: matches cmd/ but not the sibling cmdx/.
+	if got := paths(FilterManifest(lines, "cmd")); !reflect.DeepEqual(got, []string{"cmd/a.go", "cmd/sub/b.go"}) {
+		t.Fatalf("prefix filter got %q", got)
+	}
+	// A trailing slash is the same scope.
+	if got := paths(FilterManifest(lines, "cmd/")); !reflect.DeepEqual(got, []string{"cmd/a.go", "cmd/sub/b.go"}) {
+		t.Fatalf("trailing-slash filter got %q", got)
+	}
+	// Exact file path: just that entry.
+	if got := paths(FilterManifest(lines, "cmd/sub/b.go")); !reflect.DeepEqual(got, []string{"cmd/sub/b.go"}) {
+		t.Fatalf("exact filter got %q", got)
+	}
+	// No match: an empty manifest, not an error.
+	if got := FilterManifest(lines, "nope"); len(got) != 1 || !IsManifest(got) {
+		t.Fatalf("no-match filter got %q", got)
+	}
+	// Empty path: the whole manifest.
+	if got := FilterManifest(lines, ""); !reflect.DeepEqual(got, lines) {
+		t.Fatalf("empty-path filter narrowed: %q", got)
+	}
+	// Non-manifest content scopes to the empty manifest.
+	if got := FilterManifest([]string{"plain"}, "cmd"); len(got) != 1 || !IsManifest(got) {
+		t.Fatalf("non-manifest filter got %q", got)
+	}
+}

@@ -340,24 +340,69 @@ func (r *Repository) Versions() int {
 // released, so concurrent commits overlap their diffs and fsyncs and
 // only serialize on the short middle step.
 func (r *Repository) Commit(ctx context.Context, parent NodeID, lines []string) (NodeID, error) {
-	rec := walRecord{parent: parent, nodeStorage: diff.ByteSize(lines), lines: lines}
-	if parent != NoParent {
-		if int(parent) < 0 || int(parent) >= r.Versions() {
-			return 0, fmt.Errorf("versioning: commit parent %d does not exist (have %d versions)", parent, r.Versions())
+	if parent == NoParent {
+		return r.commit(ctx, nil, lines)
+	}
+	return r.commit(ctx, []NodeID{parent}, lines)
+}
+
+// CommitMerge appends a merge version deriving from several parents
+// (e.g. a git merge commit during import). parents[0] is the primary
+// parent: it carries the stored forward delta exactly as a plain
+// Commit would, so durability, replay, and incremental cost
+// bookkeeping are unchanged. Every further distinct parent adds a
+// candidate edge pair (parent ↔ v) weighed by real Myers diffs but not
+// stored — the DAG structure the MSR/BMR/MMR/BSR solvers exploit at
+// the next re-plan, when a merge edge may well become the cheaper
+// retrieval path and the migration materializes it. An empty parents
+// slice commits a root.
+func (r *Repository) CommitMerge(ctx context.Context, parents []NodeID, lines []string) (NodeID, error) {
+	return r.commit(ctx, parents, lines)
+}
+
+// commit is the shared commit pipeline; parents is deduplicated and
+// parents[0] (when present) becomes the stored-delta parent.
+func (r *Repository) commit(ctx context.Context, parents []NodeID, lines []string) (NodeID, error) {
+	rec := walRecord{parent: NoParent, nodeStorage: diff.ByteSize(lines)}
+	if len(parents) == 0 {
+		rec.lines = lines
+	} else {
+		uniq := parents[:0:0]
+		seen := make(map[NodeID]bool, len(parents))
+		for _, p := range parents {
+			if int(p) < 0 || int(p) >= r.Versions() {
+				return 0, fmt.Errorf("versioning: commit parent %d does not exist (have %d versions)", p, r.Versions())
+			}
+			if !seen[p] {
+				seen[p] = true
+				uniq = append(uniq, p)
+			}
 		}
+		rec.parent = uniq[0]
 		dctx, dspan := trace.StartSpan(ctx, "commit.diff")
-		parentLines, err := r.st.Checkout(dctx, parent)
-		if err != nil {
-			dspan.End()
-			return 0, fmt.Errorf("versioning: reconstructing commit parent %d: %w", parent, err)
+		for i, p := range uniq {
+			parentLines, err := r.st.Checkout(dctx, p)
+			if err != nil {
+				dspan.End()
+				return 0, fmt.Errorf("versioning: reconstructing commit parent %d: %w", p, err)
+			}
+			fwd := diff.Compute(parentLines, lines)
+			rev := diff.Compute(lines, parentLines)
+			if i == 0 {
+				rec.fwdStorage, rec.fwdRetr = fwd.StorageCost(), fwd.StorageCost()
+				rec.revStorage, rec.revRetr = rev.StorageCost(), rev.StorageCost()
+				rec.delta = fwd
+			} else {
+				rec.extra = append(rec.extra, walEdge{
+					parent:     p,
+					fwdStorage: fwd.StorageCost(), fwdRetr: fwd.StorageCost(),
+					revStorage: rev.StorageCost(), revRetr: rev.StorageCost(),
+				})
+			}
 		}
-		fwd := diff.Compute(parentLines, lines)
-		rev := diff.Compute(lines, parentLines)
-		rec.fwdStorage, rec.fwdRetr = fwd.StorageCost(), fwd.StorageCost()
-		rec.revStorage, rec.revRetr = rev.StorageCost(), rev.StorageCost()
-		rec.delta = fwd
 		dspan.End()
 	}
+	parent := rec.parent
 
 	_, lspan := trace.StartSpan(ctx, "commit.lock")
 	r.commitMu.Lock()
@@ -467,8 +512,16 @@ func (r *Repository) applyRoot(v NodeID, lines []string, nodeStorage Cost) error
 
 // applyChild publishes version v as parent + the forward delta d, with
 // edge costs from rec; commitMu is held. lines (when non-nil) seeds the
-// checkout cache.
+// checkout cache. Extra merge parents in rec add candidate (unstored)
+// edge pairs after the primary pair.
 func (r *Repository) applyChild(v, parent NodeID, d diff.Delta, lines []string, rec walRecord) error {
+	// Validate before any store write: a corrupt (or adversarial)
+	// journal record must not half-apply.
+	for _, x := range rec.extra {
+		if int(x.parent) < 0 || x.parent >= v || x.parent == parent {
+			return fmt.Errorf("versioning: merge parent %d invalid for version %d", x.parent, v)
+		}
+	}
 	fe := EdgeID(r.g.M())
 	if err := r.st.AddVersion(v, parent, fe, d, lines); err != nil {
 		return err
@@ -483,6 +536,11 @@ func (r *Repository) applyChild(v, parent NodeID, d diff.Delta, lines []string, 
 	}
 	r.plan.Materialized = append(r.plan.Materialized, false)
 	r.plan.Stored = append(r.plan.Stored, true, false)
+	for _, x := range rec.extra {
+		r.g.AddEdge(x.parent, v, x.fwdStorage, x.fwdRetr)
+		r.g.AddEdge(v, x.parent, x.revStorage, x.revRetr)
+		r.plan.Stored = append(r.plan.Stored, false, false)
+	}
 	// Incremental cost bookkeeping: the only stored path into v is the
 	// appended parent delta, so R(v) = R(parent) + r_fwd exactly.
 	rv := r.retr[parent] + rec.fwdRetr

@@ -44,6 +44,18 @@
 // adds a write-ahead commit journal replayed on restart) and splits its
 // locking so checkouts and stats never wait on re-plans (see
 // NewRepository and Open, and cmd/dsvd for the HTTP serving daemon).
+//
+// Version content is a []string of lines, and two conventions make real
+// repository histories first-class. CommitMerge records a version with
+// several parents — the first parent carries the stored forward delta,
+// every further parent contributes an unstored candidate edge pair
+// weighted by a real Myers diff, journaled alongside the node so a
+// later re-plan may store any of them. And a version whose lines form a
+// manifest (EncodeManifest / ParseManifest: a magic first line, then
+// path-sorted per-file sections) represents a whole file tree in one
+// version; FilterManifest narrows such a checkout to one file or
+// directory subtree. internal/gitimport builds both from a real git
+// history, and cmd/dsvimport ships them end to end.
 package versioning
 
 import (

@@ -38,6 +38,24 @@ var walMagic = []byte("DSVWAL1\n")
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// walMergeFlag marks a record whose version has extra (merge) parents
+// beyond the primary one. It is OR-ed into the parent+1 varint: node
+// ids are int32, so parent+1 never reaches the flag bit and journals
+// written before merge support decode unchanged.
+const walMergeFlag = uint64(1) << 40
+
+// walEdge is one extra parent of a merge commit: the candidate edge
+// pair (parent -> v and back) with its Myers-diff costs. Extra edges
+// are never the stored retrieval path at commit time — they enrich the
+// version graph so re-plans can exploit the DAG structure.
+type walEdge struct {
+	parent     NodeID
+	fwdStorage Cost // parent -> v
+	fwdRetr    Cost
+	revStorage Cost // v -> parent
+	revRetr    Cost
+}
+
 // walRecord is one committed version.
 type walRecord struct {
 	v           NodeID
@@ -47,6 +65,7 @@ type walRecord struct {
 	fwdRetr     Cost
 	revStorage  Cost // reverse-edge costs (v -> parent); zero for roots
 	revRetr     Cost
+	extra       []walEdge  // additional merge parents (never for roots)
 	lines       []string   // root content (parent == NoParent)
 	delta       diff.Delta // forward edit script otherwise
 }
@@ -54,10 +73,24 @@ type walRecord struct {
 // encode serializes rec's payload (without framing).
 func (rec walRecord) encode() []byte {
 	buf := binary.AppendUvarint(nil, uint64(rec.v))
-	buf = binary.AppendUvarint(buf, uint64(rec.parent+1)) // NoParent (-1) -> 0
+	ptag := uint64(rec.parent + 1) // NoParent (-1) -> 0
+	if len(rec.extra) > 0 {
+		ptag |= walMergeFlag
+	}
+	buf = binary.AppendUvarint(buf, ptag)
 	buf = binary.AppendUvarint(buf, uint64(rec.nodeStorage))
 	if rec.parent == NoParent {
 		return append(buf, store.EncodeBlob(rec.lines)...)
+	}
+	if len(rec.extra) > 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(rec.extra)))
+		for _, x := range rec.extra {
+			buf = binary.AppendUvarint(buf, uint64(x.parent))
+			buf = binary.AppendUvarint(buf, uint64(x.fwdStorage))
+			buf = binary.AppendUvarint(buf, uint64(x.fwdRetr))
+			buf = binary.AppendUvarint(buf, uint64(x.revStorage))
+			buf = binary.AppendUvarint(buf, uint64(x.revRetr))
+		}
 	}
 	buf = binary.AppendUvarint(buf, uint64(rec.fwdStorage))
 	buf = binary.AppendUvarint(buf, uint64(rec.fwdRetr))
@@ -69,21 +102,52 @@ func (rec walRecord) encode() []byte {
 // decodeWALRecord reverses walRecord.encode.
 func decodeWALRecord(b []byte) (walRecord, error) {
 	var rec walRecord
-	var v, parent, nodeStorage uint64
+	var v, ptag, nodeStorage uint64
 	var err error
 	if v, b, err = walUvarint(b); err != nil {
 		return rec, err
 	}
-	if parent, b, err = walUvarint(b); err != nil {
+	if ptag, b, err = walUvarint(b); err != nil {
 		return rec, err
 	}
 	if nodeStorage, b, err = walUvarint(b); err != nil {
 		return rec, err
 	}
-	rec.v, rec.parent, rec.nodeStorage = NodeID(v), NodeID(parent)-1, Cost(nodeStorage)
+	merged := ptag&walMergeFlag != 0
+	rec.v, rec.parent, rec.nodeStorage = NodeID(v), NodeID(ptag&^walMergeFlag)-1, Cost(nodeStorage)
 	if rec.parent == NoParent {
+		if merged {
+			return rec, errors.New("versioning: journal record: root with merge parents")
+		}
 		rec.lines, err = store.DecodeBlob(b)
 		return rec, err
+	}
+	if merged {
+		var count uint64
+		if count, b, err = walUvarint(b); err != nil {
+			return rec, err
+		}
+		if count == 0 {
+			return rec, errors.New("versioning: journal record: merge flag without extra parents")
+		}
+		// No preallocation by count: it is attacker-controlled in a
+		// corrupt journal, while append stays bounded by len(b).
+		for i := uint64(0); i < count; i++ {
+			var x walEdge
+			var p uint64
+			if p, b, err = walUvarint(b); err != nil {
+				return rec, err
+			}
+			x.parent = NodeID(p)
+			for _, f := range []*Cost{&x.fwdStorage, &x.fwdRetr, &x.revStorage, &x.revRetr} {
+				var c uint64
+				if c, b, err = walUvarint(b); err != nil {
+					return rec, err
+				}
+				*f = Cost(c)
+			}
+			rec.extra = append(rec.extra, x)
+		}
 	}
 	for _, f := range []*Cost{&rec.fwdStorage, &rec.fwdRetr, &rec.revStorage, &rec.revRetr} {
 		var x uint64

@@ -44,6 +44,35 @@ func FuzzWALReplay(f *testing.F) {
 	}
 	f.Add(seed)
 	f.Add(seed[:len(seed)-3])
+	// The same journal extended by a merge record (extra-parent edges
+	// behind the walMergeFlag bit), plus a tear inside the merge payload.
+	mergePath := filepath.Join(seedDir, "merge.wal")
+	mw, _, _, err := openWAL(mergePath, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	merge := walRecord{
+		v: 2, parent: 1, nodeStorage: 17,
+		fwdStorage: 6, fwdRetr: 6, revStorage: 5, revRetr: 5,
+		extra: []walEdge{{parent: 0, fwdStorage: 8, fwdRetr: 8, revStorage: 7, revRetr: 7}},
+		delta: diff.Compute([]string{"seed root", "changed"}, []string{"seed root", "merged"}),
+	}
+	if err := mw.append(root); err != nil {
+		f.Fatal(err)
+	}
+	if err := mw.append(child); err != nil {
+		f.Fatal(err)
+	}
+	if err := mw.append(merge); err != nil {
+		f.Fatal(err)
+	}
+	mw.Close()
+	merged, err := os.ReadFile(mergePath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(merged)
+	f.Add(merged[:len(merged)-4])
 	// A batched journal written through the group-commit path (three
 	// records staged, sealed, and flushed by one leader in a single
 	// write), plus a mid-batch tear: recovery must treat the batch layout
