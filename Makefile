@@ -61,7 +61,11 @@ serve-durable:
 # (-trace-sample), both dsvload runs sample traces for the per-phase
 # breakdown in the reports, and the multi daemon's /metricsz is linted
 # with benchgate -metrics before shutdown so a malformed Prometheus
-# exposition fails the run. CI runs all of it as the load-smoke job.
+# exposition fails the run. Each phase also smoke-checks the plan
+# observatory with benchgate -planz (the multi phase through the hot
+# head tenant t000): the run fails unless the daemon recorded at least
+# one completed maintenance pass with a solver-race report and a
+# non-empty heat top-k. CI runs all of it as the load-smoke job.
 #
 # A third phase exercises the real-history path: a fresh daemon is
 # preloaded by dsvimport with the committed fixture history plus this
@@ -86,6 +90,7 @@ load:
 	$$tmp/dsvload -addr http://$(LOAD_ADDR) -mix checkout,mixed -duration 10s -concurrency 8 \
 		-preload 32 -trace-sample 0.01 -out BENCH_load.json -fail-on-error; \
 	$$tmp/benchgate -metrics http://$(LOAD_ADDR)/metricsz; \
+	$$tmp/benchgate -planz http://$(LOAD_ADDR)/planz; \
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	$$tmp/dsvd -addr $(LOAD_ADDR) -multi -tenants-dir $$tmp/tenants -max-open $(LOAD_MAX_OPEN) -trace-sample 0.01 & pid=$$!; \
 	ok=""; for i in $$(seq 1 50); do \
@@ -96,6 +101,7 @@ load:
 		-tenants $(LOAD_TENANTS) -tenant-dist zipf -preload $(LOAD_TENANTS) \
 		-trace-sample 0.01 -out BENCH_load_multi.json -fail-on-error; \
 	$$tmp/benchgate -metrics http://$(LOAD_ADDR)/metricsz; \
+	$$tmp/benchgate -planz http://$(LOAD_ADDR)/t/t000/planz; \
 	kill $$pid; wait $$pid 2>/dev/null || true; \
 	$(GO) build -o $$tmp/dsvimport ./cmd/dsvimport; \
 	$$tmp/dsvd -addr $(LOAD_ADDR) -data-dir $$tmp/import-data -trace-sample 0.01 & pid=$$!; \

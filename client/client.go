@@ -430,6 +430,41 @@ func (c *Client) planPath(ctx context.Context, prefix string) (versioning.PlanSu
 	return out, err
 }
 
+// Planz fetches the plan observatory snapshot: maintenance-pass
+// history with per-solver race reports, the current plan's
+// explanation, and the read-heat top-k. topK bounds the heat list; 0
+// uses the server default.
+func (c *Client) Planz(ctx context.Context, topK int) (serve.Planz, error) {
+	return c.planzPath(ctx, "", topK)
+}
+
+func (c *Client) planzPath(ctx context.Context, prefix string, topK int) (serve.Planz, error) {
+	path := prefix + "/planz"
+	if topK > 0 {
+		path = fmt.Sprintf("%s/planz?topk=%d", prefix, topK)
+	}
+	var out serve.Planz
+	err := c.doJSON(ctx, http.MethodGet, path, nil, &out, true)
+	return out, err
+}
+
+// Log fetches version id's first-parent ancestry walk. limit bounds
+// the walk; 0 walks all the way to a root. An unknown version surfaces
+// as *APIError with status 404.
+func (c *Client) Log(ctx context.Context, id versioning.NodeID, limit int) (serve.LogResponse, error) {
+	return c.logPath(ctx, "", id, limit)
+}
+
+func (c *Client) logPath(ctx context.Context, prefix string, id versioning.NodeID, limit int) (serve.LogResponse, error) {
+	path := fmt.Sprintf("%s/log/%d", prefix, id)
+	if limit > 0 {
+		path = fmt.Sprintf("%s?limit=%d", path, limit)
+	}
+	var out serve.LogResponse
+	err := c.doJSON(ctx, http.MethodGet, path, nil, &out, true)
+	return out, err
+}
+
 // Replan forces a portfolio re-solve and store migration now.
 func (c *Client) Replan(ctx context.Context) (versioning.PlanSummary, error) {
 	return c.replanPath(ctx, "")

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/url"
 
+	"repro/serve"
 	"repro/tenant"
 	"repro/versioning"
 )
@@ -86,6 +87,19 @@ func (tc *TenantClient) CheckoutBatch(ctx context.Context, ids []versioning.Node
 // Plan fetches this tenant's currently installed plan summary.
 func (tc *TenantClient) Plan(ctx context.Context) (versioning.PlanSummary, error) {
 	return tc.c.planPath(ctx, tc.prefix)
+}
+
+// Planz fetches this tenant's plan observatory snapshot (pass history,
+// current-plan explanation, heat top-k). topK bounds the heat list; 0
+// uses the server default.
+func (tc *TenantClient) Planz(ctx context.Context, topK int) (serve.Planz, error) {
+	return tc.c.planzPath(ctx, tc.prefix, topK)
+}
+
+// Log fetches the first-parent ancestry walk of one of this tenant's
+// versions (limit 0 walks to a root).
+func (tc *TenantClient) Log(ctx context.Context, id versioning.NodeID, limit int) (serve.LogResponse, error) {
+	return tc.c.logPath(ctx, tc.prefix, id, limit)
 }
 
 // Replan forces a re-solve and store migration for this tenant now.

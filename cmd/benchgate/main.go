@@ -1,4 +1,4 @@
-// Command benchgate is the CI bench-regression gate. It has three
+// Command benchgate is the CI bench-regression gate. It has four
 // modes, all exiting nonzero on failure:
 //
 // Microbenchmarks (-base/-head): compares two `go test -bench` outputs
@@ -38,9 +38,19 @@
 // daemon's /metricsz so a malformed exposition fails the PR.
 //
 //	benchgate -metrics http://localhost:8080/metricsz
+//
+// Plan-observatory smoke (-planz): fetches a daemon's GET /planz (file
+// or live URL, like -metrics) and fails unless the observatory is
+// actually populated: at least one completed (non-failed) maintenance
+// pass whose solver-race report is non-empty, and a non-empty
+// per-version heat top-k. The CI load-smoke job runs it after dsvload
+// so a daemon that silently stops recording passes fails the PR.
+//
+//	benchgate -planz http://localhost:8080/planz
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +70,7 @@ func main() {
 		loadBase    = flag.String("load-base", "", "baseline dsvload JSON report (e.g. the committed BENCH_load_multi.json)")
 		loadHead    = flag.String("load-head", "", "fresh dsvload JSON report to gate")
 		metricsIn   = flag.String("metrics", "", "lint a Prometheus text exposition: a file path, or an http(s):// URL fetched live")
+		planzIn     = flag.String("planz", "", "smoke-check a plan observatory snapshot (GET /planz): a file path, or an http(s):// URL fetched live")
 		threshold   = flag.Float64("threshold", 1.25, "max allowed slowdown (head/base): bench geomean, or per-mix commit p99 in load mode")
 		checkoutThr = flag.Float64("checkout-threshold", 2.0, "load mode: max allowed per-mix checkout p99 slowdown (looser than -threshold because checkouts under load are noisier; negative disables)")
 		allowNoBase = flag.Bool("allow-missing-base", false, "load mode: a nonexistent -load-base file skips the gate (exit 0) instead of failing — for baselines landing in the same PR")
@@ -67,6 +78,12 @@ func main() {
 	flag.Parse()
 	var err error
 	switch {
+	case *planzIn != "":
+		if *basePath != "" || *headPath != "" || *loadBase != "" || *loadHead != "" || *metricsIn != "" {
+			err = fmt.Errorf("-planz is a separate mode; drop the bench/load/metrics flags")
+		} else {
+			err = runPlanz(*planzIn)
+		}
 	case *metricsIn != "":
 		if *basePath != "" || *headPath != "" || *loadBase != "" || *loadHead != "" {
 			err = fmt.Errorf("-metrics is a separate mode; drop the bench/load flags")
@@ -204,26 +221,29 @@ func runLoad(basePath, headPath string, threshold, checkoutThreshold float64, al
 	return nil
 }
 
-// runMetrics lints one Prometheus text exposition, read from a file or
-// fetched from a live endpoint.
-func runMetrics(src string) error {
-	var r io.ReadCloser
+// openSource opens src for reading: an http(s):// URL is fetched live,
+// anything else is a file path.
+func openSource(src string) (io.ReadCloser, error) {
 	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
 		resp, err := http.Get(src)
 		if err != nil {
-			return fmt.Errorf("fetching %s: %w", src, err)
+			return nil, fmt.Errorf("fetching %s: %w", src, err)
 		}
 		if resp.StatusCode != http.StatusOK {
 			resp.Body.Close()
-			return fmt.Errorf("fetching %s: status %s", src, resp.Status)
+			return nil, fmt.Errorf("fetching %s: status %s", src, resp.Status)
 		}
-		r = resp.Body
-	} else {
-		f, err := os.Open(src)
-		if err != nil {
-			return err
-		}
-		r = f
+		return resp.Body, nil
+	}
+	return os.Open(src)
+}
+
+// runMetrics lints one Prometheus text exposition, read from a file or
+// fetched from a live endpoint.
+func runMetrics(src string) error {
+	r, err := openSource(src)
+	if err != nil {
+		return err
 	}
 	defer r.Close()
 	families, series, err := metrics.Lint(r)
@@ -231,5 +251,53 @@ func runMetrics(src string) error {
 		return fmt.Errorf("exposition lint failed for %s: %w", src, err)
 	}
 	fmt.Printf("metrics lint ok: %d families, %d series (%s)\n", families, series, src)
+	return nil
+}
+
+// runPlanz smoke-checks one plan-observatory snapshot. The decode is
+// deliberately loose (only the fields the gate inspects) so the gate
+// keeps working as serve.Planz grows.
+func runPlanz(src string) error {
+	r, err := openSource(src)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	var pz struct {
+		History []struct {
+			Winner  string `json:"winner"`
+			Failed  bool   `json:"failed"`
+			Reports []struct {
+				Solver string `json:"solver"`
+			} `json:"reports"`
+		} `json:"history"`
+		HistoryTotal int64 `json:"history_total"`
+		Heat         []struct {
+			Version int32 `json:"version"`
+		} `json:"heat"`
+	}
+	if err := json.NewDecoder(r).Decode(&pz); err != nil {
+		return fmt.Errorf("decoding planz from %s: %w", src, err)
+	}
+	completed := 0
+	solvers := map[string]bool{}
+	for _, rec := range pz.History {
+		if rec.Failed || len(rec.Reports) == 0 {
+			continue
+		}
+		completed++
+		for _, rep := range rec.Reports {
+			solvers[rep.Solver] = true
+		}
+	}
+	if completed == 0 {
+		return fmt.Errorf("planz smoke failed for %s: no completed maintenance pass with a solver-race report (history=%d, lifetime=%d)",
+			src, len(pz.History), pz.HistoryTotal)
+	}
+	if len(pz.Heat) == 0 {
+		return fmt.Errorf("planz smoke failed for %s: heat top-k is empty — no checkout read was tracked", src)
+	}
+	fmt.Printf("planz smoke ok: %d completed pass(es) of %d recorded, %d solver(s) raced, heat top-k has %d version(s) (%s)\n",
+		completed, pz.HistoryTotal, len(solvers), len(pz.Heat), src)
 	return nil
 }

@@ -108,6 +108,8 @@ func run() error {
 		groupCommit = flag.Bool("group-commit", true, "batch concurrent commits into one journal write/fsync (with -data-dir or -tenants-dir)")
 		linger      = flag.Duration("group-commit-linger", 0, "how long a batch leader waits for more commits to join (0 = 200µs with -fsync, none otherwise; negative disables)")
 		maintenance = flag.Int("maintenance", 0, "background plan-maintenance workers per repository (0 = 1; negative re-plans synchronously inside commits)")
+		planHistory = flag.Int("plan-history", 0, "maintenance passes retained in the plan-observatory ring served at GET /planz (0 = 64, negative disables)")
+		heatHL      = flag.Duration("heat-halflife", 0, "per-version read-heat EWMA half-life (0 = 5m default, negative disables heat tracking)")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-solver deadline inside re-planning races")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests and storage flush")
 		maxInFlight = flag.Int("max-inflight", 0, "admission control: max concurrently executing requests (0 = 4*GOMAXPROCS, negative disables)")
@@ -158,6 +160,8 @@ func run() error {
 		GroupCommit:        *groupCommit,
 		GroupCommitLinger:  *linger,
 		MaintenanceWorkers: *maintenance,
+		PlanHistory:        *planHistory,
+		HeatHalfLife:       *heatHL,
 		EngineOptions: versioning.EngineOptions{
 			SolverTimeout: *timeout,
 			DisableILP:    !*ilp,
@@ -238,8 +242,9 @@ func run() error {
 	defer stop()
 
 	// SIGQUIT dumps the flight recorder — the same snapshot /tracez
-	// serves — without disturbing the process, for the case where the
-	// daemon is wedged enough that HTTP is not answering.
+	// serves — plus the plan observatory's vital signs, without
+	// disturbing the process, for the case where the daemon is wedged
+	// enough that HTTP is not answering.
 	quitCh := make(chan os.Signal, 1)
 	signal.Notify(quitCh, syscall.SIGQUIT)
 	go func() {
@@ -250,6 +255,15 @@ func run() error {
 				continue
 			}
 			log.Printf("dsvd: flight recorder dump: %s", buf)
+			if repo != nil {
+				log.Printf("dsvd: plan observatory: %s", repo.PlanContext())
+			}
+			if mgr != nil {
+				for name, st := range mgr.OpenStats() {
+					log.Printf("dsvd: plan observatory [%s]: replans=%d winner=%q records=%d failures=%d",
+						name, st.Replans, st.Winner, st.PlanRecords, st.ReplanFailures)
+				}
+			}
 		}
 	}()
 

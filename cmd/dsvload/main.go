@@ -71,6 +71,7 @@ import (
 	"repro/client"
 	"repro/internal/gitimport"
 	"repro/internal/metrics"
+	"repro/serve"
 	"repro/versioning"
 )
 
@@ -197,6 +198,7 @@ type api interface {
 	CommitMerge(ctx context.Context, parents []versioning.NodeID, lines []string) (client.CommitResult, error)
 	Checkout(ctx context.Context, id versioning.NodeID) ([]string, error)
 	Diff(ctx context.Context, a, b versioning.NodeID) (client.DiffResult, error)
+	Planz(ctx context.Context, topK int) (serve.Planz, error)
 }
 
 // target is one namespace under load: its API view and the live count
@@ -559,7 +561,48 @@ func runMix(c *client.Client, tc *traceCollector, active *atomic.Pointer[loadSta
 	if tc != nil {
 		attachTracePhases(ctx, c, tc, &mr)
 	}
+	attachPlanz(ctx, targets[0], &mr)
 	return mr, nil
+}
+
+// attachPlanz snapshots the daemon's plan observatory when a mix ends,
+// via GET /planz on the first target — under -tenants that is the
+// zipf-hot head tenant, the namespace whose maintenance the mix most
+// exercised. Errors leave the field absent (older daemons have no
+// /planz endpoint).
+func attachPlanz(ctx context.Context, t *target, mr *MixReport) {
+	pz, err := t.api.Planz(ctx, 5)
+	if err != nil {
+		return
+	}
+	pt := &PlanTrajectory{Passes: pz.HistoryTotal}
+	for _, rec := range pz.History {
+		if rec.Failed {
+			pt.FailedInWindow++
+		}
+	}
+	// The most recent completed pass carries the race detail worth
+	// keeping in the report.
+	for i := len(pz.History) - 1; i >= 0; i-- {
+		rec := pz.History[i]
+		if rec.Failed {
+			continue
+		}
+		pt.Winner = rec.Winner
+		pt.Trigger = rec.Trigger
+		pt.CacheHit = rec.CacheHit
+		pt.SolveUS = rec.SolveUS
+		pt.MigrationObjects = rec.MigrationObjects
+		pt.MigrationBytes = rec.MigrationBytes
+		for _, rep := range rec.Reports {
+			pt.Solvers = append(pt.Solvers, rep.Solver)
+		}
+		break
+	}
+	for _, h := range pz.Heat {
+		pt.Heat = append(pt.Heat, HeatEntry{Version: int32(h.Version), Score: h.Score, Reads: h.Reads})
+	}
+	mr.Plan = pt
 }
 
 // step executes one operation against t and records its latency.

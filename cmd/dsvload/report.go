@@ -6,8 +6,10 @@ import "repro/internal/loadreport"
 // load-regression gate consumes the exact types this generator writes;
 // the aliases keep the rest of this package reading naturally.
 type (
-	Report     = loadreport.Report
-	MixReport  = loadreport.MixReport
-	OpReport   = loadreport.OpReport
-	PhaseStats = loadreport.PhaseStats
+	Report         = loadreport.Report
+	MixReport      = loadreport.MixReport
+	OpReport       = loadreport.OpReport
+	PhaseStats     = loadreport.PhaseStats
+	PlanTrajectory = loadreport.PlanTrajectory
+	HeatEntry      = loadreport.HeatEntry
 )

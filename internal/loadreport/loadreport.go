@@ -80,6 +80,40 @@ type MixReport struct {
 	// whole mix (absent from reports written by older generators).
 	ResponseSize *metrics.SizeSummary `json:"response_size_bytes,omitempty"`
 	PerOp        map[string]OpReport  `json:"per_op"`
+	// Plan snapshots the daemon's plan observatory (GET /planz) right
+	// after the mix completed — absent against daemons without /planz.
+	Plan *PlanTrajectory `json:"plan,omitempty"`
+}
+
+// PlanTrajectory is the plan-observatory snapshot taken when a mix
+// ends: how much maintenance the load provoked, how the latest solver
+// race went, and which versions the heat tracker saw as hottest.
+type PlanTrajectory struct {
+	// Passes is the daemon's lifetime count of recorded maintenance
+	// passes; FailedInWindow counts the failed ones still retained in
+	// the history ring.
+	Passes         int64 `json:"passes"`
+	FailedInWindow int   `json:"failed_in_window,omitempty"`
+	// Winner through MigrationBytes describe the most recent completed
+	// pass: the race winner, what triggered the pass, every solver that
+	// raced, and what the resulting store migration moved.
+	Winner           string   `json:"winner,omitempty"`
+	Trigger          string   `json:"trigger,omitempty"`
+	Solvers          []string `json:"solvers,omitempty"`
+	CacheHit         bool     `json:"cache_hit,omitempty"`
+	SolveUS          int64    `json:"solve_us,omitempty"`
+	MigrationObjects int64    `json:"migration_objects,omitempty"`
+	MigrationBytes   int64    `json:"migration_bytes,omitempty"`
+	// Heat is the per-version read-heat top-k at mix end.
+	Heat []HeatEntry `json:"heat,omitempty"`
+}
+
+// HeatEntry is one version's read heat: an exponentially decayed read
+// score and the lifetime read count.
+type HeatEntry struct {
+	Version int32   `json:"version"`
+	Score   float64 `json:"score"`
+	Reads   int64   `json:"reads"`
 }
 
 // OpReport is one operation type's share of a mix.

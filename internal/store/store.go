@@ -56,12 +56,14 @@ type Store struct {
 	flightMu sync.Mutex
 	flight   map[graph.NodeID]*flightCall
 
-	checkouts     atomic.Int64
-	cacheHits     atomic.Int64
-	deltaApplies  atomic.Int64
-	planRetries   atomic.Int64
-	installs      atomic.Int64
-	installMicros atomic.Int64
+	checkouts      atomic.Int64
+	cacheHits      atomic.Int64
+	deltaApplies   atomic.Int64
+	planRetries    atomic.Int64
+	installs       atomic.Int64
+	installMicros  atomic.Int64
+	installObjects atomic.Int64
+	installBytes   atomic.Int64
 }
 
 // Stats summarizes a Store.
@@ -81,6 +83,8 @@ type Stats struct {
 	PlanRetries    int64 // checkouts re-snapshotted after racing a migration
 	Installs       int64 // successful plan migrations
 	InstallMicros  int64 // cumulative wall time spent inside Install
+	InstallObjects int64 // objects newly written by successful migrations
+	InstallBytes   int64 // bytes of those objects
 
 	// Packfile read-path counters, populated when the backend compacts
 	// into packs (see DiskBackend).
@@ -134,6 +138,8 @@ func (s *Store) Stats() Stats {
 		PlanRetries:    s.planRetries.Load(),
 		Installs:       s.installs.Load(),
 		InstallMicros:  s.installMicros.Load(),
+		InstallObjects: s.installObjects.Load(),
+		InstallBytes:   s.installBytes.Load(),
 	}
 	if pb, ok := s.backend.(PackStatser); ok {
 		ps := pb.PackStats()
@@ -247,12 +253,15 @@ func (s *Store) Install(g *graph.Graph, p *plan.Plan, content ContentFunc) error
 	newDelta := make(map[graph.EdgeID]Key)
 	newFrom := make(map[graph.EdgeID]graph.NodeID)
 	newRefs := make(map[Key]int)
+	var wroteObjects, wroteBytes int64
 	put := func(payload []byte) (Key, error) {
 		k := KeyOf(payload)
 		if newRefs[k] == 0 {
 			if err := s.backend.Put(k, payload); err != nil {
 				return Key{}, err
 			}
+			wroteObjects++
+			wroteBytes += int64(len(payload))
 		}
 		newRefs[k]++
 		return k, nil
@@ -332,7 +341,65 @@ func (s *Store) Install(g *graph.Graph, p *plan.Plan, content ContentFunc) error
 	}
 	s.installs.Add(1)
 	s.installMicros.Add(time.Since(installStart).Microseconds())
+	s.installObjects.Add(wroteObjects)
+	s.installBytes.Add(wroteBytes)
 	return nil
+}
+
+// InstallTotals reports the cumulative migration counters — objects and
+// bytes newly written by successful Installs, and the wall time inside
+// them — without building a full Stats. Callers that serialize Installs
+// (as versioning.Repository does) can difference it around one Install
+// to attribute that migration's writes.
+func (s *Store) InstallTotals() (objects, bytes, micros int64) {
+	return s.installObjects.Load(), s.installBytes.Load(), s.installMicros.Load()
+}
+
+// RetrievalDepths reports, per version, how many stored deltas the
+// installed plan applies to reconstruct it (0 = materialized). The
+// forest is copied under the read lock (the live maps keep mutating
+// under Add*/Install); the walk itself runs lock-free over the copy,
+// memoized so the whole forest costs one pass.
+func (s *Store) RetrievalDepths() []int {
+	s.mu.RLock()
+	parentEdge := append([]int32(nil), s.parentEdge...)
+	edgeFrom := make(map[graph.EdgeID]graph.NodeID, len(s.edgeFrom))
+	for e, v := range s.edgeFrom {
+		edgeFrom[e] = v
+	}
+	s.mu.RUnlock()
+	depths := make([]int, len(parentEdge))
+	for i := range depths {
+		depths[i] = -1
+	}
+	var chain []int32
+	for v := range parentEdge {
+		cur := int32(v)
+		chain = chain[:0]
+		for depths[cur] < 0 {
+			e := parentEdge[cur]
+			if e == graph.None {
+				depths[cur] = 0
+				break
+			}
+			chain = append(chain, cur)
+			from, ok := edgeFrom[graph.EdgeID(e)]
+			if !ok || int(from) >= len(parentEdge) {
+				// A torn snapshot (edge map raced the slice) — treat the
+				// frontier as materialized rather than walk off the map.
+				depths[cur] = 0
+				chain = chain[:len(chain)-1]
+				break
+			}
+			cur = from
+		}
+		d := depths[cur]
+		for i := len(chain) - 1; i >= 0; i-- {
+			d++
+			depths[chain[i]] = d
+		}
+	}
+	return depths
 }
 
 // AddMaterialized extends the installed plan with version v stored in

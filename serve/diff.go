@@ -68,6 +68,11 @@ func (s *Server) handleDiff(st *repoState, w http.ResponseWriter, r *http.Reques
 	if e, ok := s.resp.get(respKindDiff, st.name, key); ok {
 		_, sp := trace.StartSpan(r.Context(), "cache.hit")
 		sp.End()
+		// Cache hits still count toward both endpoints' read heat.
+		st.repo.TouchVersion(a)
+		if b != a {
+			st.repo.TouchVersion(b)
+		}
 		s.writeEncoded(w, r, e)
 		return
 	}

@@ -3,6 +3,7 @@ package serve
 import (
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/buildinfo"
@@ -156,6 +157,36 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	repoCounter("dsv_repo_replan_failures_total", "Failed re-plan passes.", func(st versioning.RepositoryStats) float64 { return float64(st.ReplanFailures) })
 	repoCounter("dsv_repo_migrations_total", "Store migrations completed.", func(st versioning.RepositoryStats) float64 { return float64(st.Migrations) })
 	repoCounter("dsv_repo_migration_seconds_total", "Wall time spent inside store migrations.", func(st versioning.RepositoryStats) float64 { return float64(st.MigrationMicros) / 1e6 })
+	repoCounter("dsv_migration_objects_total", "Objects newly written to the backend by store migrations.", func(st versioning.RepositoryStats) float64 { return float64(st.MigrationObjects) })
+	repoCounter("dsv_migration_bytes_total", "Bytes newly written to the backend by store migrations.", func(st versioning.RepositoryStats) float64 { return float64(st.MigrationBytes) })
+	repoGauge("dsv_repo_last_replan_failure_timestamp_seconds", "Unix time of the most recent failed re-plan pass (0 = never).", func(st versioning.RepositoryStats) float64 { return st.LastReplanFailureUnix })
+
+	// Plan observatory: pass records, the latest prediction, per-solver
+	// race outcomes, and the read-heat top-k. Families are emitted
+	// metric-major like everything above; the labeled loops below keep
+	// each family contiguous across repositories and label values.
+	repoCounter("dsv_plan_records_total", "Maintenance-pass records appended to the plan observatory.", func(st versioning.RepositoryStats) float64 { return float64(st.PlanRecords) })
+	repoGauge("dsv_plan_history_len", "Pass records currently retained by the bounded history ring.", func(st versioning.RepositoryStats) float64 { return float64(st.PlanHistoryLen) })
+	repoGauge("dsv_plan_predicted_storage_cost", "Storage cost the latest installed plan predicted at install time.", func(st versioning.RepositoryStats) float64 { return float64(st.PredictedStorage) })
+	repoGauge("dsv_plan_predicted_sum_retrieval_cost", "Total retrieval cost the latest installed plan predicted at install time.", func(st versioning.RepositoryStats) float64 { return float64(st.PredictedSumRetrieval) })
+	repoGauge("dsv_plan_predicted_max_retrieval_cost", "Worst-version retrieval cost the latest installed plan predicted at install time.", func(st versioning.RepositoryStats) float64 { return float64(st.PredictedMaxRetrieval) })
+	for _, row := range repos {
+		for _, solver := range metrics.SortedKeys(row.st.SolverWins) {
+			e.Counter("dsv_plan_solver_wins_total", "Installed plans per winning solver.", float64(row.st.SolverWins[solver]),
+				append(append([]metrics.Label(nil), row.labels...), metrics.L("solver", solver))...)
+		}
+	}
+	for _, row := range repos {
+		e.Histogram("dsv_plan_race_duration_seconds", "Wall time of the portfolio solver race per maintenance pass.", row.st.RaceDurations, row.labels...)
+	}
+	repoCounter("dsv_heat_reads_total", "Version reads recorded by the heat tracker.", func(st versioning.RepositoryStats) float64 { return float64(st.HeatReads) })
+	repoGauge("dsv_heat_tracked_versions", "Versions currently holding a heat entry.", func(st versioning.RepositoryStats) float64 { return float64(st.HeatTrackedVersions) })
+	for _, row := range repos {
+		for _, h := range row.st.HeatTopK {
+			e.Gauge("dsv_version_heat", "Decayed read heat of the hottest versions (top-k per repository).", h.Score,
+				append(append([]metrics.Label(nil), row.labels...), metrics.L("version", strconv.Itoa(int(h.Version))))...)
+		}
+	}
 	repoCounter("dsv_wal_batches_total", "Group-commit batches written to the journal.", func(st versioning.RepositoryStats) float64 { return float64(st.WALBatches) })
 	repoCounter("dsv_wal_batched_commits_total", "Commits that rode a group-commit batch.", func(st versioning.RepositoryStats) float64 { return float64(st.WALBatchedCommits) })
 	repoGauge("dsv_wal_max_batch", "Largest group-commit batch observed.", func(st versioning.RepositoryStats) float64 { return float64(st.WALMaxBatch) })

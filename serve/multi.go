@@ -16,9 +16,11 @@ import (
 //	POST /t/{tenant}/commit
 //	GET  /t/{tenant}/checkout/{id}   (?path= narrows a manifest checkout)
 //	GET  /t/{tenant}/diff/{a}/{b}
+//	GET  /t/{tenant}/log/{id}        (?limit= bounds the ancestry walk)
 //	POST /t/{tenant}/checkout        (batch)
 //	POST /t/{tenant}/replan
 //	GET  /t/{tenant}/plan
+//	GET  /t/{tenant}/planz           plan history + heat top-k
 //	GET  /t/{tenant}/stats
 //	GET  /fleetz                     aggregate fleet stats
 //	GET  /statsz                     per-endpoint counters (+ fleet and per-tenant stats)
@@ -45,8 +47,10 @@ func NewMulti(mgr *tenant.Manager, opt Options) *Server {
 	s.handleTenant("checkout", "GET /t/{tenant}/checkout/{id}", s.handleCheckout)
 	s.handleTenant("checkout_batch", "POST /t/{tenant}/checkout", s.handleCheckoutBatch)
 	s.handleTenant("diff", "GET /t/{tenant}/diff/{a}/{b}", s.handleDiff)
+	s.handleTenant("log", "GET /t/{tenant}/log/{id}", s.handleLog)
 	s.handleTenant("replan", "POST /t/{tenant}/replan", s.handleReplan)
 	s.handleTenant("plan", "GET /t/{tenant}/plan", s.handlePlan)
+	s.handleTenant("planz", "GET /t/{tenant}/planz", s.handlePlanz)
 	s.handleTenant("stats", "GET /t/{tenant}/stats", s.handleStats)
 	s.handle("fleetz", "GET /fleetz", s.handleFleetz, false)
 	s.handle("statsz", "GET /statsz", s.handleStatsz, false)

@@ -60,6 +60,7 @@ const (
 	respKindCheckout   = "co"   // GET /checkout/{id}; key = id
 	respKindPathScoped = "cop"  // GET /checkout/{id}?path=p; key = id \x00 p
 	respKindDiff       = "diff" // GET /diff/{a}/{b}; key = a \x00 b
+	respKindLog        = "log"  // GET /log/{id}; key = id \x00 limit
 )
 
 // respKey scopes a request key to its endpoint kind and tenant

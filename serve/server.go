@@ -8,9 +8,11 @@
 //	GET  /checkout/{id}  -> checkoutResponse
 //	GET  /checkout/{id}?path=p  manifest checkout narrowed to one path scope
 //	GET  /diff/{a}/{b}   -> diffResponse: the edit script between two versions
+//	GET  /log/{id}       -> LogResponse: first-parent ancestry (?limit= bounds the walk)
 //	POST /checkout       {"ids": [0, 3, 7]} -> batch checkoutResponse list
 //	POST /replan         force a portfolio re-plan now
 //	GET  /plan           -> versioning.PlanSummary
+//	GET  /planz          -> Planz: plan history, current-plan explanation, heat top-k
 //	GET  /stats          -> versioning.RepositoryStats
 //	GET  /statsz         -> Statsz: per-endpoint latency/throughput counters
 //	GET  /metricsz       -> Prometheus text exposition of every counter/histogram
@@ -180,8 +182,10 @@ func New(repo *versioning.Repository, opt Options) *Server {
 	s.handleRepo("checkout", "GET /checkout/{id}", s.handleCheckout)
 	s.handleRepo("checkout_batch", "POST /checkout", s.handleCheckoutBatch)
 	s.handleRepo("diff", "GET /diff/{a}/{b}", s.handleDiff)
+	s.handleRepo("log", "GET /log/{id}", s.handleLog)
 	s.handleRepo("replan", "POST /replan", s.handleReplan)
 	s.handleRepo("plan", "GET /plan", s.handlePlan)
+	s.handleRepo("planz", "GET /planz", s.handlePlanz)
 	s.handleRepo("stats", "GET /stats", s.handleStats)
 	// Probes bypass admission control: an overloaded server must still
 	// answer its orchestrator and expose its own counters.
@@ -308,8 +312,16 @@ func (s *Server) maybeLogSlow(name string, status int, d time.Duration, span *tr
 	}
 	s.slowLogged.Add(1)
 	suppressed := s.slowSuppressed.Swap(0)
-	s.logf("serve: slow request endpoint=%s status=%d duration_us=%d threshold=%s trace_id=%q suppressed=%d",
-		name, status, d.Microseconds(), s.slowReq, span.TraceID(), suppressed)
+	// Plan context ties the stall to the planner's state: a slow burst
+	// right after a replan usually means a migration or a deeper delta
+	// chain. Multi-tenant servers log the mode instead — the slow
+	// request's tenant is on its trace, not known here.
+	planCtx := "mode=multi"
+	if s.def != nil {
+		planCtx = s.def.repo.PlanContext()
+	}
+	s.logf("serve: slow request endpoint=%s status=%d duration_us=%d threshold=%s trace_id=%q suppressed=%d plan[%s]",
+		name, status, d.Microseconds(), s.slowReq, span.TraceID(), suppressed, planCtx)
 }
 
 // statusWriter captures the response status for the error counters. It
@@ -522,9 +534,12 @@ func (s *Server) handleCheckout(st *repoState, w http.ResponseWriter, r *http.Re
 	}
 	// Hot path: the fully encoded response is cached. No repository,
 	// store, or JSON work — one header check and one Write (or a 304).
+	// The read still counts toward the version's heat: the observatory
+	// tracks demand, not store traffic.
 	if e, ok := s.resp.get(kind, st.name, key); ok {
 		_, sp := trace.StartSpan(r.Context(), "cache.hit")
 		sp.End()
+		st.repo.TouchVersion(id)
 		s.writeEncoded(w, r, e)
 		return
 	}

@@ -31,6 +31,14 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
+)
+
+// Maintenance-pass trigger reasons, recorded in each PlanRecord.
+const (
+	triggerCadence = "cadence" // ReplanEvery commit cadence, background worker
+	triggerSync    = "sync"    // the same cadence run inline in Commit (MaintenanceWorkers < 0)
+	triggerManual  = "manual"  // Replan / POST /replan
 )
 
 // startMaintenance resolves the worker count and starts the background
@@ -70,7 +78,7 @@ func (r *Repository) maybeReplan(ctx context.Context) {
 		return
 	}
 	if r.maintWorkers == 0 {
-		r.runPass(ctx)
+		r.runPass(ctx, triggerSync)
 		return
 	}
 	r.scheduleReplan()
@@ -104,7 +112,7 @@ func (r *Repository) maintenanceLoop() {
 		r.maintMu.Lock()
 		goal := r.maintReq
 		r.maintMu.Unlock()
-		err := r.runPass(r.maintCtx)
+		err := r.runPass(r.maintCtx, triggerCadence)
 		r.asyncReplans.Add(1)
 		r.maintMu.Lock()
 		if goal > r.maintDone {
@@ -167,7 +175,7 @@ func (r *Repository) Replan(ctx context.Context) error {
 	if r.isClosed() {
 		return ErrClosed
 	}
-	return r.runPass(ctx)
+	return r.runPass(ctx, triggerManual)
 }
 
 func (r *Repository) isClosed() bool {
@@ -180,12 +188,13 @@ func (r *Repository) isClosed() bool {
 // outcome for Stats. passMu serializes whole passes — two concurrent
 // solves against overlapping snapshots would just race to install the
 // same plan.
-func (r *Repository) runPass(ctx context.Context) error {
+func (r *Repository) runPass(ctx context.Context, trigger string) error {
 	r.passMu.Lock()
 	defer r.passMu.Unlock()
-	err := r.replanAndInstall(ctx)
+	err := r.replanAndInstall(ctx, trigger)
 	if err != nil {
 		r.replanFailures.Add(1)
+		r.lastReplanFailure.Store(time.Now().UnixNano())
 		r.stateMu.Lock()
 		// Deliberately NOT resetting sinceReplan: the next commit past
 		// the cadence re-triggers, so a transient solver failure heals
@@ -197,11 +206,15 @@ func (r *Repository) runPass(ctx context.Context) error {
 }
 
 // replanAndInstall is the pass body: snapshot, solve, precompute,
-// install, publish.
-func (r *Repository) replanAndInstall(ctx context.Context) error {
+// install, publish. Every pass that gets as far as sizing its snapshot
+// appends a PlanRecord to the observatory ring — successes with the
+// race report, prediction, and migration totals; failures with the
+// error and whatever race context produced it.
+func (r *Repository) replanAndInstall(ctx context.Context, trigger string) error {
 	if r.isClosed() {
 		return ErrClosed
 	}
+	passStart := time.Now()
 	r.stateMu.RLock()
 	gSnap := r.g.Clone()
 	r.stateMu.RUnlock()
@@ -212,13 +225,35 @@ func (r *Repository) replanAndInstall(ctx context.Context) error {
 		r.stateMu.Unlock()
 		return nil
 	}
-	constraint, err := r.constraintFor(gSnap)
-	if err != nil {
+	rec := PlanRecord{
+		UnixMS:   passStart.UnixMilli(),
+		Trigger:  trigger,
+		Versions: gSnap.N(),
+		Deltas:   gSnap.M(),
+		Problem:  r.opt.Problem.String(),
+	}
+	fail := func(err error) error {
+		rec.Err = err.Error()
+		rec.Failed = true
+		rec.TotalUS = time.Since(passStart).Microseconds()
+		r.history.append(rec)
 		return err
 	}
-	res, err := r.solve(ctx, gSnap, r.opt.Problem, constraint)
+	constraint, err := r.constraintFor(gSnap)
 	if err != nil {
-		return fmt.Errorf("versioning: re-plan %s(%d): %w", r.opt.Problem, constraint, err)
+		return fail(err)
+	}
+	rec.Constraint = constraint
+	solveStart := time.Now()
+	res, solveErr := r.solve(ctx, gSnap, r.opt.Problem, constraint)
+	solveDur := time.Since(solveStart)
+	rec.SolveUS = solveDur.Microseconds()
+	rec.Winner = res.Winner
+	rec.CacheHit = res.CacheHit
+	rec.Reports = raceReports(res.Reports)
+	r.raceHist.Observe(solveDur)
+	if solveErr != nil {
+		return fail(fmt.Errorf("versioning: re-plan %s(%d): %w", r.opt.Problem, constraint, solveErr))
 	}
 	// Clone before grafting below: the engine memoizes solutions by graph
 	// fingerprint and may hand the same *Plan to a later call.
@@ -232,7 +267,7 @@ func (r *Repository) replanAndInstall(ctx context.Context) error {
 	for _, v := range planContentNodes(gSnap, solved) {
 		l, cerr := r.st.Checkout(ctx, v)
 		if cerr != nil {
-			return fmt.Errorf("versioning: preloading content for migration: %w", cerr)
+			return fail(fmt.Errorf("versioning: preloading content for migration: %w", cerr))
 		}
 		memo[v] = l
 	}
@@ -252,21 +287,30 @@ func (r *Repository) replanAndInstall(ctx context.Context) error {
 	r.commitMu.Lock()
 	defer r.commitMu.Unlock()
 	if r.closed {
-		return ErrClosed
+		return fail(ErrClosed)
 	}
 	// Graft the versions committed while the solver ran: they keep the
 	// exact incremental layout the live plan gave them (materialized
 	// roots, stored forward deltas), so the installed plan covers the
 	// full live graph and those versions' storage is untouched.
 	grafted := r.g.N() - gSnap.N()
+	rec.Grafted = grafted
 	p := solved
 	p.Materialized = append(p.Materialized, r.plan.Materialized[gSnap.N():]...)
 	p.Stored = append(p.Stored, r.plan.Stored[gSnap.M():]...)
+	objBefore, bytesBefore, usBefore := r.st.InstallTotals()
 	if err := r.st.Install(r.g, p, content); err != nil {
-		return fmt.Errorf("versioning: migrating to new plan: %w", err)
+		return fail(fmt.Errorf("versioning: migrating to new plan: %w", err))
 	}
+	objAfter, bytesAfter, usAfter := r.st.InstallTotals()
+	rec.MigrationObjects = objAfter - objBefore
+	rec.MigrationBytes = bytesAfter - bytesBefore
+	rec.MigrationUS = usAfter - usBefore
 	cost := Evaluate(r.g, p)
 	retr := p.Retrievals(r.g)
+	rec.PredictedStorage = cost.Storage
+	rec.PredictedSumRetrieval = cost.SumRetrieval
+	rec.PredictedMaxRetrieval = cost.MaxRetrieval
 	r.stateMu.Lock()
 	r.plan = p
 	r.planCost = cost
@@ -276,7 +320,11 @@ func (r *Repository) replanAndInstall(ctx context.Context) error {
 	r.replans++
 	r.sinceReplan = grafted
 	r.replanErr = nil
+	r.lastPredicted = cost
+	r.solverWins[res.Winner]++
 	r.stateMu.Unlock()
+	rec.TotalUS = time.Since(passStart).Microseconds()
+	r.history.append(rec)
 	return nil
 }
 

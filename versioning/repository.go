@@ -12,6 +12,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/diff"
 	"repro/internal/graph"
+	"repro/internal/heat"
+	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -102,6 +104,13 @@ type RepositoryOptions struct {
 	Engine *Engine
 	// EngineOptions configures the engine built when Engine is nil.
 	EngineOptions EngineOptions
+	// PlanHistory bounds the plan observatory's ring of PlanRecords —
+	// one per maintenance pass, served by PlanHistory() and GET /planz
+	// (0 = 64, negative disables recording).
+	PlanHistory int
+	// HeatHalfLife is the decay half-life of the per-version read-heat
+	// tracker (0 = heat.DefaultHalfLife, negative disables tracking).
+	HeatHalfLife time.Duration
 }
 
 // Repository is the plan-executing storage runtime: a live datastore in
@@ -163,8 +172,17 @@ type Repository struct {
 	maintReq     uint64 // maintenance requests issued
 	maintDone    uint64 // requests satisfied by a completed pass
 
-	asyncReplans   atomic.Int64 // passes run by background workers
-	replanFailures atomic.Int64 // failed passes (sync or async)
+	asyncReplans      atomic.Int64 // passes run by background workers
+	replanFailures    atomic.Int64 // failed passes (sync or async)
+	lastReplanFailure atomic.Int64 // unix nanos of the last failed pass (0 = never)
+
+	// Plan observatory (observatory.go): the bounded pass-record ring,
+	// the per-version read-heat tracker, and the race-duration
+	// histogram. All three are internally synchronized (and nil-safe
+	// where disabling is allowed), so they sit outside the lock order.
+	history  *planHistory
+	heat     *heat.Tracker
+	raceHist metrics.Histogram
 
 	// stateMu guards the serving metadata below.
 	stateMu     sync.RWMutex
@@ -177,6 +195,13 @@ type Repository struct {
 	replans     int
 	sinceReplan int
 	replanErr   error
+	// parents records every version's committed parents (primary
+	// first), the ancestry Log serves; lastPredicted is the plan cost
+	// the latest successful pass evaluated at install time; solverWins
+	// counts installed plans per winning solver.
+	parents       [][]NodeID
+	lastPredicted PlanCost
+	solverWins    map[string]int64
 }
 
 // NewRepository returns an empty in-memory repository named name. For a
@@ -200,6 +225,10 @@ func NewRepository(name string, opt RepositoryOptions) *Repository {
 	if backend == nil {
 		backend = store.NewShardedMemBackend(opt.Shards)
 	}
+	histCap := opt.PlanHistory
+	if histCap == 0 {
+		histCap = 64
+	}
 	r := &Repository{
 		opt:        opt,
 		eng:        eng,
@@ -209,6 +238,11 @@ func NewRepository(name string, opt RepositoryOptions) *Repository {
 		plan:       plan.New(NewGraph(name)),
 		planCost:   PlanCost{Feasible: true},
 		constraint: opt.Constraint,
+		history:    newPlanHistory(histCap),
+		solverWins: make(map[string]int64),
+	}
+	if opt.HeatHalfLife >= 0 {
+		r.heat = heat.New(heat.Options{HalfLife: opt.HeatHalfLife})
 	}
 	r.solve = eng.Solve
 	r.startMaintenance()
@@ -502,6 +536,7 @@ func (r *Repository) applyRoot(v NodeID, lines []string, nodeStorage Cost) error
 	defer r.stateMu.Unlock()
 	r.g.AddNode(nodeStorage)
 	r.plan.Materialized = append(r.plan.Materialized, true)
+	r.parents = append(r.parents, nil)
 	// Incremental cost bookkeeping: a materialized root adds its own
 	// storage and retrieves for free.
 	r.retr = append(r.retr, 0)
@@ -536,11 +571,15 @@ func (r *Repository) applyChild(v, parent NodeID, d diff.Delta, lines []string, 
 	}
 	r.plan.Materialized = append(r.plan.Materialized, false)
 	r.plan.Stored = append(r.plan.Stored, true, false)
+	ps := make([]NodeID, 1, 1+len(rec.extra))
+	ps[0] = parent
 	for _, x := range rec.extra {
 		r.g.AddEdge(x.parent, v, x.fwdStorage, x.fwdRetr)
 		r.g.AddEdge(v, x.parent, x.revStorage, x.revRetr)
 		r.plan.Stored = append(r.plan.Stored, false, false)
+		ps = append(ps, x.parent)
 	}
+	r.parents = append(r.parents, ps)
 	// Incremental cost bookkeeping: the only stored path into v is the
 	// appended parent delta, so R(v) = R(parent) + r_fwd exactly.
 	rv := r.retr[parent] + rec.fwdRetr
@@ -556,6 +595,7 @@ func (r *Repository) applyChild(v, parent NodeID, d diff.Delta, lines []string, 
 
 // Checkout reconstructs version v's full content under the current plan.
 func (r *Repository) Checkout(ctx context.Context, v NodeID) ([]string, error) {
+	r.heat.Bump(v)
 	return r.st.Checkout(ctx, v)
 }
 
@@ -569,6 +609,9 @@ type CheckoutResult struct {
 // results are positional and duplicates are deduplicated through the
 // cache and singleflight layers.
 func (r *Repository) CheckoutBatch(ctx context.Context, ids []NodeID) []CheckoutResult {
+	for _, v := range ids {
+		r.heat.Bump(v)
+	}
 	items := r.st.CheckoutBatch(ctx, ids, r.opt.Workers)
 	out := make([]CheckoutResult, len(items))
 	for i, it := range items {
@@ -659,14 +702,43 @@ type RepositoryStats struct {
 	CommitsPending int    `json:"commits_pending"` // commits since the last re-plan
 	// AsyncReplans counts maintenance passes run by the background
 	// workers (successes and failures); ReplanFailures counts failed
-	// passes on any path. Replans above only counts installed plans.
-	AsyncReplans   int64 `json:"async_replans"`
-	ReplanFailures int64 `json:"replan_failures,omitempty"`
+	// passes on any path, and LastReplanFailureUnix timestamps the most
+	// recent one (unix seconds, 0 = never). Replans above only counts
+	// installed plans.
+	AsyncReplans          int64   `json:"async_replans"`
+	ReplanFailures        int64   `json:"replan_failures,omitempty"`
+	LastReplanFailureUnix float64 `json:"last_replan_failure_unix,omitempty"`
 	// Migrations counts successful store migrations and MigrationMicros
 	// the cumulative wall time inside them — the work the async workers
-	// keep off the commit path.
-	Migrations      int64 `json:"migrations"`
-	MigrationMicros int64 `json:"migration_us_total"`
+	// keep off the commit path. MigrationObjects/MigrationBytes total
+	// what those migrations newly wrote to the backend.
+	Migrations       int64 `json:"migrations"`
+	MigrationMicros  int64 `json:"migration_us_total"`
+	MigrationObjects int64 `json:"migration_objects,omitempty"`
+	MigrationBytes   int64 `json:"migration_bytes,omitempty"`
+
+	// Plan observatory (see PlanRecord and GET /planz). PlanRecords is
+	// the lifetime pass-record count, PlanHistoryLen how many the ring
+	// retains, SolverWins installed plans per winning solver, and
+	// Predicted* the plan cost the latest successful pass evaluated at
+	// install time (the live Storage/SumRetrieval above drift from it as
+	// commits land — that drift is the re-plan pressure).
+	PlanRecords           int64            `json:"plan_records,omitempty"`
+	PlanHistoryLen        int              `json:"plan_history_len,omitempty"`
+	SolverWins            map[string]int64 `json:"solver_wins,omitempty"`
+	PredictedStorage      Cost             `json:"predicted_storage,omitempty"`
+	PredictedSumRetrieval Cost             `json:"predicted_sum_retrieval,omitempty"`
+	PredictedMaxRetrieval Cost             `json:"predicted_max_retrieval,omitempty"`
+	// RaceLatency summarizes solver-race wall times across passes;
+	// RaceDurations is the same histogram's raw snapshot for in-process
+	// consumers (/metricsz renders it as a Prometheus histogram).
+	RaceLatency   *metrics.LatencySummary `json:"race_latency_us,omitempty"`
+	RaceDurations metrics.Snapshot        `json:"-"`
+	// Read-heat tracker: versions currently tracked, lifetime bumps,
+	// and the decayed top-k (10) hottest versions.
+	HeatTrackedVersions int           `json:"heat_tracked_versions,omitempty"`
+	HeatReads           int64         `json:"heat_reads,omitempty"`
+	HeatTopK            []VersionHeat `json:"heat_top_k,omitempty"`
 
 	// Group-commit batching (zero unless GroupCommit is on): batches
 	// written, commits that rode them, and the largest batch observed.
@@ -735,11 +807,35 @@ func (r *Repository) Stats() RepositoryStats {
 	}
 	st.Migrations = ss.Installs
 	st.MigrationMicros = ss.InstallMicros
+	st.MigrationObjects = ss.InstallObjects
+	st.MigrationBytes = ss.InstallBytes
 	if r.replanErr != nil {
 		st.ReplanError = r.replanErr.Error()
 	}
 	st.AsyncReplans = r.asyncReplans.Load()
 	st.ReplanFailures = r.replanFailures.Load()
+	if ns := r.lastReplanFailure.Load(); ns != 0 {
+		st.LastReplanFailureUnix = float64(ns) / float64(time.Second)
+	}
+	st.PredictedStorage = r.lastPredicted.Storage
+	st.PredictedSumRetrieval = r.lastPredicted.SumRetrieval
+	st.PredictedMaxRetrieval = r.lastPredicted.MaxRetrieval
+	if len(r.solverWins) > 0 {
+		st.SolverWins = make(map[string]int64, len(r.solverWins))
+		for k, v := range r.solverWins {
+			st.SolverWins[k] = v
+		}
+	}
+	st.PlanRecords = r.history.lifetime()
+	st.PlanHistoryLen = r.history.size()
+	st.RaceDurations = r.raceHist.Snapshot()
+	if st.RaceDurations.Count > 0 {
+		sum := st.RaceDurations.Summary()
+		st.RaceLatency = &sum
+	}
+	st.HeatTrackedVersions = r.heat.Tracked()
+	st.HeatReads = r.heat.Bumps()
+	st.HeatTopK = r.heat.TopK(10)
 	if r.wal != nil && r.wal.group {
 		st.WALBatches = r.wal.batches.Load()
 		st.WALBatchedCommits = r.wal.batchedRecs.Load()
